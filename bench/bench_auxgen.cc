@@ -1,0 +1,55 @@
+// Microbenchmark for Algorithm 1 (auxiliary review generation), backing the
+// paper's §4.1 complexity analysis: generation is O(N·M) preprocessing (the
+// dataset indices) plus O(L·M·Q) for the cold users, so per-user time should
+// stay flat as the number of users N grows with M and Q held constant.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/aux_review.h"
+#include "data/splits.h"
+#include "data/synthetic.h"
+
+using namespace omnimatch;
+
+namespace {
+
+void BM_AuxGenerationPerUser(benchmark::State& state) {
+  data::SyntheticConfig config = data::SyntheticConfig::AmazonLike();
+  config.num_users = static_cast<int>(state.range(0));
+  config.items_per_domain = config.num_users / 2;  // constant density
+  data::SyntheticWorld world(config);
+  data::CrossDomainDataset cross = world.MakePair("Books", "Movies");
+  Rng rng(7);
+  data::ColdStartSplit split = data::MakeColdStartSplit(cross, &rng);
+  core::AuxReviewGenerator generator(&cross, split.train_users);
+
+  size_t next = 0;
+  for (auto _ : state) {
+    int user = split.test_users[next % split.test_users.size()];
+    ++next;
+    auto reviews = generator.GenerateForUser(user, &rng);
+    benchmark::DoNotOptimize(reviews.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AuxGenerationPerUser)->Arg(200)->Arg(400)->Arg(800)->Arg(1600);
+
+void BM_IndexConstruction(benchmark::State& state) {
+  // The O(N·M) dictionary build of §4.1.
+  data::SyntheticConfig config = data::SyntheticConfig::AmazonLike();
+  config.num_users = static_cast<int>(state.range(0));
+  data::SyntheticWorld world(config);
+  data::DomainDataset dataset = world.domain("Books");
+  for (auto _ : state) {
+    dataset.BuildIndices();
+    benchmark::DoNotOptimize(dataset.users().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(dataset.num_reviews()));
+}
+BENCHMARK(BM_IndexConstruction)->Arg(200)->Arg(400)->Arg(800);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// Microbenchmarks for the nn substrate's hot kernels (google-benchmark):
+// dense matmul, the fused text convolution, the supervised contrastive
+// loss, and a full forward+backward of the rating pipeline's building
+// blocks.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/losses.h"
+#include "nn/ops.h"
+
+using namespace omnimatch;
+using nn::Tensor;
+
+namespace {
+
+Tensor RandomTensor(std::vector<int> shape, Rng* rng, bool grad) {
+  Tensor t = Tensor::Zeros(std::move(shape), grad);
+  for (float& v : t.data()) v = rng->UniformFloat(-1.0f, 1.0f);
+  return t;
+}
+
+void BM_MatMul(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Tensor a = RandomTensor({n, n}, &rng, false);
+  Tensor b = RandomTensor({n, n}, &rng, false);
+  for (auto _ : state) {
+    Tensor c = nn::MatMul(a, b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulBackward(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  Tensor a = RandomTensor({n, n}, &rng, true);
+  Tensor b = RandomTensor({n, n}, &rng, true);
+  for (auto _ : state) {
+    Tensor loss = nn::MeanAll(nn::MatMul(a, b));
+    loss.Backward();
+    a.ZeroGrad();
+    b.ZeroGrad();
+  }
+  state.SetItemsProcessed(state.iterations() * 6LL * n * n * n);
+}
+BENCHMARK(BM_MatMulBackward)->Arg(64)->Arg(128);
+
+void BM_TextConvMaxPool(benchmark::State& state) {
+  // The OmniMatch extractor shape: batch 64, doc 64 tokens, embed 32.
+  int batch = 64, length = 64, embed = 32, channels = 24;
+  Rng rng(3);
+  Tensor docs = RandomTensor({batch, length, embed}, &rng, false);
+  Tensor w = RandomTensor({channels, 3 * embed}, &rng, false);
+  Tensor b = RandomTensor({channels}, &rng, false);
+  for (auto _ : state) {
+    Tensor out = nn::TextConvMaxPool(docs, w, b, 3);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * batch * (length - 2) *
+                          channels * 3 * embed);
+}
+BENCHMARK(BM_TextConvMaxPool);
+
+void BM_TextCnnForwardBackward(benchmark::State& state) {
+  int batch = 64, length = 64, embed = 32, channels = 24;
+  Rng rng(4);
+  nn::TextCnn cnn(embed, channels, {3, 4, 5}, &rng);
+  Tensor docs = RandomTensor({batch, length, embed}, &rng, true);
+  for (auto _ : state) {
+    Tensor loss = nn::MeanAll(cnn.Forward(docs));
+    loss.Backward();
+    docs.ZeroGrad();
+    cnn.ZeroGrad();
+  }
+}
+BENCHMARK(BM_TextCnnForwardBackward);
+
+void BM_SupConLoss(benchmark::State& state) {
+  int batch = static_cast<int>(state.range(0));
+  Rng rng(5);
+  Tensor feats = RandomTensor({batch, 24}, &rng, true);
+  std::vector<int> labels(static_cast<size_t>(batch));
+  for (int i = 0; i < batch; ++i) labels[static_cast<size_t>(i)] = i % 5;
+  for (auto _ : state) {
+    Tensor loss = nn::SupConLoss(feats, labels, 0.07f);
+    loss.Backward();
+    feats.ZeroGrad();
+  }
+}
+BENCHMARK(BM_SupConLoss)->Arg(64)->Arg(128);
+
+void BM_EmbeddingGather(benchmark::State& state) {
+  Rng rng(6);
+  nn::EmbeddingTable table(2000, 32, &rng);
+  std::vector<int> ids(64 * 64);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<int>(rng.UniformU32(2000));
+  }
+  for (auto _ : state) {
+    Tensor out = table.Forward(ids);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+}
+BENCHMARK(BM_EmbeddingGather);
+
+}  // namespace
+
+BENCHMARK_MAIN();

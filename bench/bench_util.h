@@ -1,0 +1,54 @@
+#ifndef OMNIMATCH_BENCH_BENCH_UTIL_H_
+#define OMNIMATCH_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+
+namespace omnimatch {
+namespace bench {
+
+/// Prints one paper-style table block: rows are (scenario, RMSE/MAE),
+/// columns are methods, with the last column showing the improvement of
+/// "OmniMatch" over the best baseline (the paper's Δ% column).
+inline void PrintScenarioTable(
+    const std::vector<eval::ScenarioResult>& results) {
+  if (results.empty()) return;
+  eval::AsciiTable table;
+  std::vector<std::string> header = {"Scenario", "Metric"};
+  for (const auto& m : results[0].methods) {
+    header.push_back(m.name == "OmniMatch" ? "Ours" : m.name);
+  }
+  header.push_back("Δ%");
+  table.SetHeader(header);
+
+  for (const auto& scenario : results) {
+    for (int metric = 0; metric < 2; ++metric) {
+      std::vector<std::string> row = {scenario.scenario,
+                                      metric == 0 ? "RMSE" : "MAE"};
+      double ours = 0.0, best_baseline = 1e30;
+      for (const auto& m : scenario.methods) {
+        double v = metric == 0 ? m.test.rmse : m.test.mae;
+        row.push_back(eval::FormatMetric(v));
+        if (m.name == "OmniMatch") {
+          ours = v;
+        } else {
+          best_baseline = std::min(best_baseline, v);
+        }
+      }
+      double delta = (best_baseline - ours) / best_baseline * 100.0;
+      row.push_back(ours > 0.0 ? eval::StrFormatDelta(delta) : "-");
+      table.AddRow(row);
+    }
+  }
+  std::printf("%s", table.Render().c_str());
+}
+
+}  // namespace bench
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_BENCH_BENCH_UTIL_H_

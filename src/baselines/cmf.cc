@@ -1,0 +1,23 @@
+#include "baselines/cmf.h"
+
+namespace omnimatch {
+namespace baselines {
+
+Status Cmf::Fit(const data::CrossDomainDataset& cross,
+                const data::ColdStartSplit& split) {
+  std::vector<RatingTriple> ratings = VisibleRatings(
+      cross, split, /*include_source=*/true, /*include_target=*/true);
+  if (ratings.empty()) {
+    return Status::FailedPrecondition("CMF: no visible ratings");
+  }
+  model_ = std::make_unique<MatrixFactorization>(config_);
+  model_->Fit(ratings);
+  return Status::OK();
+}
+
+float Cmf::PredictRating(int user_id, int item_id) const {
+  return model_->Predict(user_id, item_id);
+}
+
+}  // namespace baselines
+}  // namespace omnimatch

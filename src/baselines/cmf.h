@@ -1,0 +1,39 @@
+#ifndef OMNIMATCH_BASELINES_CMF_H_
+#define OMNIMATCH_BASELINES_CMF_H_
+
+#include <memory>
+
+#include "baselines/mf.h"
+#include "baselines/recommender.h"
+
+namespace omnimatch {
+namespace baselines {
+
+/// Collective Matrix Factorization (Singh & Gordon 2008; §5.3).
+///
+/// Shares user factors across domains by factorizing the source and target
+/// rating matrices *simultaneously* — implemented as one biased MF over the
+/// union of both domains' visible ratings (item ids are disjoint across
+/// domains, so item factors stay per-domain automatically). Cold-start users
+/// obtain factors from their source records alone.
+class Cmf : public Recommender {
+ public:
+  Cmf() { config_.use_biases = false; }
+  explicit Cmf(MfConfig config) : config_(config) {
+    config_.use_biases = false;
+  }
+
+  Status Fit(const data::CrossDomainDataset& cross,
+             const data::ColdStartSplit& split) override;
+  float PredictRating(int user_id, int item_id) const override;
+  std::string name() const override { return "CMF"; }
+
+ private:
+  MfConfig config_;
+  std::unique_ptr<MatrixFactorization> model_;
+};
+
+}  // namespace baselines
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_BASELINES_CMF_H_

@@ -1,0 +1,96 @@
+#include "baselines/emcdr.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "nn/losses.h"
+#include "nn/optimizer.h"
+#include "nn/ops.h"
+
+namespace omnimatch {
+namespace baselines {
+
+Emcdr::Emcdr() : config_() {}
+Emcdr::Emcdr(const Config& config) : config_(config) {}
+
+Status Emcdr::Fit(const data::CrossDomainDataset& cross,
+                  const data::ColdStartSplit& split) {
+  // Stage 1-2: per-domain latent factor models.
+  std::vector<RatingTriple> source_ratings =
+      VisibleRatings(cross, split, true, false);
+  std::vector<RatingTriple> target_ratings =
+      VisibleRatings(cross, split, false, true);
+  if (source_ratings.empty() || target_ratings.empty()) {
+    return Status::FailedPrecondition("EMCDR: a domain has no ratings");
+  }
+  source_mf_ = std::make_unique<MatrixFactorization>(config_.mf);
+  source_mf_->Fit(source_ratings);
+  MfConfig target_config = config_.mf;
+  target_config.seed = config_.mf.seed + 1;
+  target_mf_ = std::make_unique<MatrixFactorization>(target_config);
+  target_mf_->Fit(target_ratings);
+
+  // Stage 3: MLP mapping on overlapping training users.
+  std::vector<int> overlap;
+  for (int u : split.train_users) {
+    if (source_mf_->HasUser(u) && target_mf_->HasUser(u)) {
+      overlap.push_back(u);
+    }
+  }
+  if (overlap.empty()) {
+    return Status::FailedPrecondition("EMCDR: no overlapping training users");
+  }
+
+  int d = config_.mf.dim;
+  Rng rng(config_.seed);
+  mapping_ = std::make_unique<nn::Mlp>(
+      std::vector<int>{d, config_.mapping_hidden, d}, /*dropout=*/0.0f, &rng);
+  nn::Adam optimizer(mapping_->Parameters(), config_.mapping_lr);
+
+  std::vector<float> inputs, targets;
+  inputs.reserve(overlap.size() * static_cast<size_t>(d));
+  targets.reserve(overlap.size() * static_cast<size_t>(d));
+  for (int u : overlap) {
+    std::vector<float> s = source_mf_->UserFactor(u);
+    std::vector<float> t = target_mf_->UserFactor(u);
+    inputs.insert(inputs.end(), s.begin(), s.end());
+    targets.insert(targets.end(), t.begin(), t.end());
+  }
+  nn::Tensor x = nn::Tensor::FromData(
+      {static_cast<int>(overlap.size()), d}, inputs);
+  for (int epoch = 0; epoch < config_.mapping_epochs; ++epoch) {
+    optimizer.ZeroGrad();
+    nn::Tensor pred = mapping_->Forward(x);
+    nn::Tensor loss = nn::MseLoss(pred, targets);
+    loss.Backward();
+    optimizer.Step();
+  }
+
+  // Precompute mapped factors for every user with a source factor.
+  mapped_factor_.clear();
+  mapping_->set_training(false);
+  for (int u : cross.source().users()) {
+    if (!source_mf_->HasUser(u)) continue;
+    nn::Tensor input =
+        nn::Tensor::FromData({1, d}, source_mf_->UserFactor(u));
+    nn::Tensor out = mapping_->Forward(input);
+    mapped_factor_[u] = out.data();
+  }
+  return Status::OK();
+}
+
+float Emcdr::PredictRating(int user_id, int item_id) const {
+  float pred = target_mf_->global_mean();
+  if (target_mf_->HasItem(item_id)) {
+    pred += target_mf_->ItemBias(item_id);
+    auto it = mapped_factor_.find(user_id);
+    if (it != mapped_factor_.end()) {
+      std::vector<float> q = target_mf_->ItemFactor(item_id);
+      for (size_t k = 0; k < q.size(); ++k) pred += it->second[k] * q[k];
+    }
+  }
+  return std::clamp(pred, 1.0f, 5.0f);
+}
+
+}  // namespace baselines
+}  // namespace omnimatch

@@ -1,0 +1,125 @@
+#include "baselines/gnn_base.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "nn/init.h"
+#include "nn/losses.h"
+#include "nn/ops.h"
+
+namespace omnimatch {
+namespace baselines {
+
+Status EmbeddingPropagationModel::Fit(const data::CrossDomainDataset& cross,
+                                      const data::ColdStartSplit& split) {
+  std::vector<RatingTriple> ratings = TrainingRatings(cross, split);
+  if (ratings.empty()) {
+    return Status::FailedPrecondition(name() + ": no training ratings");
+  }
+
+  // Dense node ids: users first, then items.
+  user_node_.clear();
+  item_node_.clear();
+  for (const RatingTriple& r : ratings) {
+    user_node_.emplace(r.user, static_cast<int>(user_node_.size()));
+    item_node_.emplace(r.item, static_cast<int>(item_node_.size()));
+  }
+  int num_users = static_cast<int>(user_node_.size());
+  int num_items = static_cast<int>(item_node_.size());
+
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(ratings.size());
+  double sum = 0.0;
+  for (const RatingTriple& r : ratings) {
+    edges.emplace_back(user_node_[r.user], item_node_[r.item]);
+    sum += r.rating;
+  }
+  mean_ = static_cast<float>(sum / ratings.size());
+  graph_ = std::make_unique<graph::InteractionGraph>(num_users, num_items,
+                                                     edges);
+  // Non-owning alias: graph_ outlives adj_ within this object.
+  adj_ = std::shared_ptr<const graph::Csr>(&graph_->normalized_adjacency(),
+                                           [](const graph::Csr*) {});
+
+  Rng rng(config_.seed);
+  int n = graph_->num_nodes();
+  embeddings_ = nn::Tensor::Zeros({n, config_.dim}, /*requires_grad=*/true);
+  nn::NormalInit(&embeddings_, 0.0f, 0.1f, &rng);
+  bias_ = nn::Tensor::Zeros({n, 1}, /*requires_grad=*/true);
+  OnGraphReady(&rng);
+
+  std::vector<nn::Tensor> params = {embeddings_, bias_};
+  for (const nn::Tensor& p : ExtraParameters()) params.push_back(p);
+  nn::Adam optimizer(params, config_.lr, 0.9f, 0.999f, 1e-8f,
+                     config_.weight_decay);
+
+  std::vector<int> order(ratings.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(config_.batch_size)) {
+      size_t end = std::min(order.size(),
+                            start + static_cast<size_t>(config_.batch_size));
+      optimizer.ZeroGrad();
+      nn::Tensor final_emb = Propagate(embeddings_);
+
+      std::vector<int> user_rows, item_rows;
+      std::vector<float> gold;
+      for (size_t j = start; j < end; ++j) {
+        const RatingTriple& r = ratings[static_cast<size_t>(order[j])];
+        user_rows.push_back(user_node_[r.user]);
+        item_rows.push_back(num_users + item_node_[r.item]);
+        gold.push_back(r.rating - mean_);
+      }
+      nn::Tensor eu = nn::Gather(final_emb, user_rows);
+      nn::Tensor ei = nn::Gather(final_emb, item_rows);
+      nn::Tensor bu = nn::Gather(bias_, user_rows);
+      nn::Tensor bi = nn::Gather(bias_, item_rows);
+      nn::Tensor pred =
+          nn::Add(nn::RowSum(nn::Mul(eu, ei)), nn::Add(bu, bi));
+      nn::Tensor loss = nn::MseLoss(pred, gold);
+      loss.Backward();
+      optimizer.Step();
+    }
+  }
+
+  // Cache final embeddings for prediction.
+  nn::Tensor final_emb = Propagate(embeddings_.DetachCopy());
+  final_embeddings_ = final_emb.data();
+  final_dim_ = final_emb.dim(1);
+  return Status::OK();
+}
+
+int EmbeddingPropagationModel::NodeOfUser(int user_id) const {
+  auto it = user_node_.find(user_id);
+  return it == user_node_.end() ? -1 : it->second;
+}
+
+int EmbeddingPropagationModel::NodeOfItem(int item_id) const {
+  auto it = item_node_.find(item_id);
+  return it == item_node_.end()
+             ? -1
+             : static_cast<int>(user_node_.size()) + it->second;
+}
+
+float EmbeddingPropagationModel::PredictRating(int user_id,
+                                               int item_id) const {
+  float pred = mean_;
+  int u = NodeOfUser(user_id);
+  int i = NodeOfItem(item_id);
+  if (u >= 0) pred += bias_.data()[static_cast<size_t>(u)];
+  if (i >= 0) pred += bias_.data()[static_cast<size_t>(i)];
+  if (u >= 0 && i >= 0) {
+    const float* eu =
+        final_embeddings_.data() + static_cast<size_t>(u) * final_dim_;
+    const float* ei =
+        final_embeddings_.data() + static_cast<size_t>(i) * final_dim_;
+    for (int k = 0; k < final_dim_; ++k) pred += eu[k] * ei[k];
+  }
+  return std::clamp(pred, 1.0f, 5.0f);
+}
+
+}  // namespace baselines
+}  // namespace omnimatch

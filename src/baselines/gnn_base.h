@@ -1,0 +1,93 @@
+#ifndef OMNIMATCH_BASELINES_GNN_BASE_H_
+#define OMNIMATCH_BASELINES_GNN_BASE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/recommender.h"
+#include "common/rng.h"
+#include "graph/bipartite.h"
+#include "nn/optimizer.h"
+#include "nn/tensor.h"
+
+namespace omnimatch {
+namespace baselines {
+
+/// Hyperparameters shared by the graph-convolutional baselines.
+struct GnnConfig {
+  int dim = 16;
+  int layers = 2;
+  int epochs = 30;
+  float lr = 5e-3f;
+  float weight_decay = 1e-4f;
+  int batch_size = 256;
+  uint64_t seed = 23;
+};
+
+/// Shared machinery for NGCF / LightGCN / HeroGraph: dense node ids, the
+/// normalized interaction graph, base embeddings and bias parameters, the
+/// pointwise-MSE training loop, and the cached final embeddings used at
+/// prediction time.
+///
+/// Subclasses implement Propagate() (their layer stack) and ExtraParameters()
+/// (layer weights, empty for LightGCN). Prediction:
+///   r̂ = μ + b_u + b_i + e_u · e_i,
+/// degrading to μ + b_i for users outside the graph (single-domain models
+/// never see cold-start users — exactly why their cold-start numbers are
+/// flat in Tables 2-3).
+class EmbeddingPropagationModel : public Recommender {
+ public:
+  explicit EmbeddingPropagationModel(const GnnConfig& config)
+      : config_(config) {}
+
+  Status Fit(const data::CrossDomainDataset& cross,
+             const data::ColdStartSplit& split) override;
+  float PredictRating(int user_id, int item_id) const override;
+
+ protected:
+  /// Ratings this model trains on (and whose users/items form the graph).
+  virtual std::vector<RatingTriple> TrainingRatings(
+      const data::CrossDomainDataset& cross,
+      const data::ColdStartSplit& split) const = 0;
+
+  /// Final node embeddings given base embeddings [N, dim]. The returned
+  /// width may differ from dim (NGCF concatenates layers).
+  virtual nn::Tensor Propagate(const nn::Tensor& base_embeddings) = 0;
+
+  /// Trainable parameters beyond embeddings and biases.
+  virtual std::vector<nn::Tensor> ExtraParameters() const { return {}; }
+
+  /// Called once the graph shape is known, before training (NGCF builds its
+  /// per-layer weights here).
+  virtual void OnGraphReady(Rng* rng) { (void)rng; }
+
+  const graph::InteractionGraph* interaction_graph() const {
+    return graph_.get();
+  }
+  std::shared_ptr<const graph::Csr> adjacency() const { return adj_; }
+  const GnnConfig& config() const { return config_; }
+
+ private:
+  int NodeOfUser(int user_id) const;  // -1 when absent
+  int NodeOfItem(int item_id) const;  // -1 when absent
+
+  GnnConfig config_;
+  std::unordered_map<int, int> user_node_;
+  std::unordered_map<int, int> item_node_;
+  std::unique_ptr<graph::InteractionGraph> graph_;
+  std::shared_ptr<const graph::Csr> adj_;
+
+  nn::Tensor embeddings_;  // [N, dim] parameter
+  nn::Tensor bias_;        // [N, 1] parameter
+  float mean_ = 3.0f;
+
+  // Cached after training for O(1) predictions.
+  std::vector<float> final_embeddings_;
+  int final_dim_ = 0;
+};
+
+}  // namespace baselines
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_BASELINES_GNN_BASE_H_

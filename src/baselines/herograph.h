@@ -1,0 +1,39 @@
+#ifndef OMNIMATCH_BASELINES_HEROGRAPH_H_
+#define OMNIMATCH_BASELINES_HEROGRAPH_H_
+
+#include "baselines/gnn_base.h"
+
+namespace omnimatch {
+namespace baselines {
+
+/// HeroGraph (Cui et al. 2020; §5.3): a shared heterogeneous graph built by
+/// collecting users' and items' interactions from *multiple domains*.
+///
+/// Users are shared nodes; items from both domains coexist in one graph
+/// (item ids are already namespaced per domain). Propagation is
+/// LightGCN-style over the joint graph. Because cold-start users have
+/// source-domain edges, information flows to them across the shared graph —
+/// making HeroGraph the strongest rating-only baseline for cold users, as
+/// in the paper's tables.
+class HeroGraph : public EmbeddingPropagationModel {
+ public:
+  explicit HeroGraph(const GnnConfig& config = GnnConfig())
+      : EmbeddingPropagationModel(config) {}
+
+  std::string name() const override { return "HeroGraph"; }
+
+ protected:
+  std::vector<RatingTriple> TrainingRatings(
+      const data::CrossDomainDataset& cross,
+      const data::ColdStartSplit& split) const override {
+    return VisibleRatings(cross, split, /*include_source=*/true,
+                          /*include_target=*/true);
+  }
+
+  nn::Tensor Propagate(const nn::Tensor& base_embeddings) override;
+};
+
+}  // namespace baselines
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_BASELINES_HEROGRAPH_H_

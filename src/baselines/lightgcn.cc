@@ -1,0 +1,21 @@
+#include "baselines/lightgcn.h"
+
+#include "graph/propagate.h"
+#include "nn/ops.h"
+
+namespace omnimatch {
+namespace baselines {
+
+nn::Tensor LightGcn::Propagate(const nn::Tensor& base_embeddings) {
+  // E_final = (E_0 + E_1 + ... + E_L) / (L + 1),  E_l = Â E_{l-1}.
+  nn::Tensor layer = base_embeddings;
+  nn::Tensor sum = base_embeddings;
+  for (int l = 0; l < config().layers; ++l) {
+    layer = graph::SparseMatMul(adjacency(), layer);
+    sum = nn::Add(sum, layer);
+  }
+  return nn::Scale(sum, 1.0f / static_cast<float>(config().layers + 1));
+}
+
+}  // namespace baselines
+}  // namespace omnimatch

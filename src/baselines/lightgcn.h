@@ -1,0 +1,35 @@
+#ifndef OMNIMATCH_BASELINES_LIGHTGCN_H_
+#define OMNIMATCH_BASELINES_LIGHTGCN_H_
+
+#include "baselines/gnn_base.h"
+
+namespace omnimatch {
+namespace baselines {
+
+/// LightGCN (He et al. 2020; §5.3): graph convolution reduced to pure
+/// neighborhood aggregation — no feature transforms, no nonlinearity. The
+/// final embedding is the mean of the base embedding and every propagated
+/// layer. Single-domain: trains on the *target* domain's visible ratings
+/// only, so cold-start users are invisible to it.
+class LightGcn : public EmbeddingPropagationModel {
+ public:
+  explicit LightGcn(const GnnConfig& config = GnnConfig())
+      : EmbeddingPropagationModel(config) {}
+
+  std::string name() const override { return "LIGHTGCN"; }
+
+ protected:
+  std::vector<RatingTriple> TrainingRatings(
+      const data::CrossDomainDataset& cross,
+      const data::ColdStartSplit& split) const override {
+    return VisibleRatings(cross, split, /*include_source=*/false,
+                          /*include_target=*/true);
+  }
+
+  nn::Tensor Propagate(const nn::Tensor& base_embeddings) override;
+};
+
+}  // namespace baselines
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_BASELINES_LIGHTGCN_H_

@@ -1,0 +1,113 @@
+#include "baselines/mf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace omnimatch {
+namespace baselines {
+
+void MatrixFactorization::Fit(const std::vector<RatingTriple>& ratings) {
+  OM_CHECK(!ratings.empty());
+  Rng rng(config_.seed);
+
+  user_index_.clear();
+  item_index_.clear();
+  for (const RatingTriple& r : ratings) {
+    user_index_.emplace(r.user, static_cast<int>(user_index_.size()));
+    item_index_.emplace(r.item, static_cast<int>(item_index_.size()));
+  }
+  int d = config_.dim;
+  user_factors_.resize(user_index_.size() * static_cast<size_t>(d));
+  item_factors_.resize(item_index_.size() * static_cast<size_t>(d));
+  for (float& v : user_factors_) {
+    v = static_cast<float>(rng.Normal(0.0, config_.init_std));
+  }
+  for (float& v : item_factors_) {
+    v = static_cast<float>(rng.Normal(0.0, config_.init_std));
+  }
+  user_bias_.assign(user_index_.size(), 0.0f);
+  item_bias_.assign(item_index_.size(), 0.0f);
+
+  double sum = 0.0;
+  for (const RatingTriple& r : ratings) sum += r.rating;
+  mean_ = static_cast<float>(sum / ratings.size());
+
+  std::vector<int> order(ratings.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (int idx : order) {
+      const RatingTriple& r = ratings[static_cast<size_t>(idx)];
+      int u = user_index_[r.user];
+      int i = item_index_[r.item];
+      float* p = user_factors_.data() + static_cast<size_t>(u) * d;
+      float* q = item_factors_.data() + static_cast<size_t>(i) * d;
+      float dot = 0.0f;
+      for (int k = 0; k < d; ++k) dot += p[k] * q[k];
+      float err = r.rating - (mean_ + user_bias_[u] + item_bias_[i] + dot);
+      if (config_.use_biases) {
+        user_bias_[u] += config_.lr * (err - config_.reg * user_bias_[u]);
+        item_bias_[i] += config_.lr * (err - config_.reg * item_bias_[i]);
+      }
+      for (int k = 0; k < d; ++k) {
+        float pk = p[k];
+        p[k] += config_.lr * (err * q[k] - config_.reg * pk);
+        q[k] += config_.lr * (err * pk - config_.reg * q[k]);
+      }
+    }
+  }
+}
+
+float MatrixFactorization::Predict(int user_id, int item_id) const {
+  float pred = mean_;
+  auto uit = user_index_.find(user_id);
+  auto iit = item_index_.find(item_id);
+  if (uit != user_index_.end()) {
+    pred += user_bias_[static_cast<size_t>(uit->second)];
+  }
+  if (iit != item_index_.end()) {
+    pred += item_bias_[static_cast<size_t>(iit->second)];
+  }
+  if (uit != user_index_.end() && iit != item_index_.end()) {
+    const float* p =
+        user_factors_.data() + static_cast<size_t>(uit->second) * config_.dim;
+    const float* q =
+        item_factors_.data() + static_cast<size_t>(iit->second) * config_.dim;
+    for (int k = 0; k < config_.dim; ++k) pred += p[k] * q[k];
+  }
+  return std::clamp(pred, 1.0f, 5.0f);
+}
+
+std::vector<float> MatrixFactorization::UserFactor(int user_id) const {
+  auto it = user_index_.find(user_id);
+  OM_CHECK(it != user_index_.end()) << "unknown user " << user_id;
+  const float* p =
+      user_factors_.data() + static_cast<size_t>(it->second) * config_.dim;
+  return std::vector<float>(p, p + config_.dim);
+}
+
+std::vector<float> MatrixFactorization::ItemFactor(int item_id) const {
+  auto it = item_index_.find(item_id);
+  OM_CHECK(it != item_index_.end()) << "unknown item " << item_id;
+  const float* q =
+      item_factors_.data() + static_cast<size_t>(it->second) * config_.dim;
+  return std::vector<float>(q, q + config_.dim);
+}
+
+float MatrixFactorization::UserBias(int user_id) const {
+  auto it = user_index_.find(user_id);
+  OM_CHECK(it != user_index_.end()) << "unknown user " << user_id;
+  return user_bias_[static_cast<size_t>(it->second)];
+}
+
+float MatrixFactorization::ItemBias(int item_id) const {
+  auto it = item_index_.find(item_id);
+  OM_CHECK(it != item_index_.end()) << "unknown item " << item_id;
+  return item_bias_[static_cast<size_t>(it->second)];
+}
+
+}  // namespace baselines
+}  // namespace omnimatch

@@ -1,0 +1,45 @@
+#include "baselines/ngcf.h"
+
+#include "graph/propagate.h"
+#include "nn/ops.h"
+
+namespace omnimatch {
+namespace baselines {
+
+void Ngcf::OnGraphReady(Rng* rng) {
+  w1_.clear();
+  w2_.clear();
+  for (int l = 0; l < config().layers; ++l) {
+    w1_.push_back(
+        std::make_unique<nn::Linear>(config().dim, config().dim, rng));
+    w2_.push_back(
+        std::make_unique<nn::Linear>(config().dim, config().dim, rng));
+  }
+}
+
+nn::Tensor Ngcf::Propagate(const nn::Tensor& base_embeddings) {
+  std::vector<nn::Tensor> layers = {base_embeddings};
+  nn::Tensor e = base_embeddings;
+  for (int l = 0; l < config().layers; ++l) {
+    nn::Tensor neigh = graph::SparseMatMul(adjacency(), e);  // Â E
+    nn::Tensor self_plus = nn::Add(neigh, e);                // (Â + I) E
+    nn::Tensor interact = nn::Mul(neigh, e);                 // Â E ⊙ E
+    e = nn::LeakyRelu(
+        nn::Add(w1_[static_cast<size_t>(l)]->Forward(self_plus),
+                w2_[static_cast<size_t>(l)]->Forward(interact)));
+    layers.push_back(e);
+  }
+  return nn::ConcatCols(layers);
+}
+
+std::vector<nn::Tensor> Ngcf::ExtraParameters() const {
+  std::vector<nn::Tensor> out;
+  for (size_t l = 0; l < w1_.size(); ++l) {
+    for (const nn::Tensor& p : w1_[l]->Parameters()) out.push_back(p);
+    for (const nn::Tensor& p : w2_[l]->Parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace omnimatch

@@ -1,0 +1,45 @@
+#ifndef OMNIMATCH_BASELINES_NGCF_H_
+#define OMNIMATCH_BASELINES_NGCF_H_
+
+#include <memory>
+
+#include "baselines/gnn_base.h"
+#include "nn/layers.h"
+
+namespace omnimatch {
+namespace baselines {
+
+/// NGCF (Wang et al. 2019; §5.3): Neural Graph Collaborative Filtering.
+///
+/// Each layer l computes
+///   E_l = LeakyReLU( (Â + I) E_{l-1} W1_l + (Â E_{l-1}) ⊙ E_{l-1} W2_l )
+/// and the final representation concatenates all layers. Single-domain on
+/// the target side, like LightGCN.
+class Ngcf : public EmbeddingPropagationModel {
+ public:
+  explicit Ngcf(const GnnConfig& config = GnnConfig())
+      : EmbeddingPropagationModel(config) {}
+
+  std::string name() const override { return "NGCF"; }
+
+ protected:
+  std::vector<RatingTriple> TrainingRatings(
+      const data::CrossDomainDataset& cross,
+      const data::ColdStartSplit& split) const override {
+    return VisibleRatings(cross, split, /*include_source=*/false,
+                          /*include_target=*/true);
+  }
+
+  void OnGraphReady(Rng* rng) override;
+  nn::Tensor Propagate(const nn::Tensor& base_embeddings) override;
+  std::vector<nn::Tensor> ExtraParameters() const override;
+
+ private:
+  std::vector<std::unique_ptr<nn::Linear>> w1_;
+  std::vector<std::unique_ptr<nn::Linear>> w2_;
+};
+
+}  // namespace baselines
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_BASELINES_NGCF_H_

@@ -1,0 +1,186 @@
+#include "baselines/ptupcdr.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "nn/losses.h"
+#include "nn/optimizer.h"
+#include "nn/ops.h"
+
+namespace omnimatch {
+namespace baselines {
+
+Ptupcdr::Ptupcdr() : config_() {}
+Ptupcdr::Ptupcdr(const Config& config) : config_(config) {}
+
+std::vector<float> Ptupcdr::CharacteristicVector(
+    const data::CrossDomainDataset& cross, int user_id) const {
+  int d = config_.mf.dim;
+  std::vector<float> c(static_cast<size_t>(d), 0.0f);
+  int count = 0;
+  for (int idx : cross.source().RecordsOfUser(user_id)) {
+    const data::Review& r = cross.source().reviews()[idx];
+    if (!source_mf_->HasItem(r.item_id)) continue;
+    std::vector<float> q = source_mf_->ItemFactor(r.item_id);
+    for (int k = 0; k < d; ++k) c[static_cast<size_t>(k)] += q[k];
+    ++count;
+  }
+  if (count > 0) {
+    for (float& v : c) v /= static_cast<float>(count);
+  }
+  return c;
+}
+
+Status Ptupcdr::Fit(const data::CrossDomainDataset& cross,
+                    const data::ColdStartSplit& split) {
+  std::vector<RatingTriple> source_ratings =
+      VisibleRatings(cross, split, true, false);
+  std::vector<RatingTriple> target_ratings =
+      VisibleRatings(cross, split, false, true);
+  if (source_ratings.empty() || target_ratings.empty()) {
+    return Status::FailedPrecondition("PTUPCDR: a domain has no ratings");
+  }
+  source_mf_ = std::make_unique<MatrixFactorization>(config_.mf);
+  source_mf_->Fit(source_ratings);
+  MfConfig target_config = config_.mf;
+  target_config.seed = config_.mf.seed + 1;
+  target_mf_ = std::make_unique<MatrixFactorization>(target_config);
+  target_mf_->Fit(target_ratings);
+
+  int d = config_.mf.dim;
+  Rng rng(config_.seed);
+
+  // Warm start: a global source->target factor mapping trained by MSE on
+  // overlapping training users (as in EMCDR); the meta bridge then learns a
+  // personalized residual on top of it via the task loss.
+  global_mapping_ = std::make_unique<nn::Mlp>(
+      std::vector<int>{d, config_.meta_hidden, d}, /*dropout=*/0.0f, &rng);
+  {
+    std::vector<float> inputs, targets;
+    int count = 0;
+    for (int u : split.train_users) {
+      if (!source_mf_->HasUser(u) || !target_mf_->HasUser(u)) continue;
+      std::vector<float> s = source_mf_->UserFactor(u);
+      std::vector<float> t = target_mf_->UserFactor(u);
+      inputs.insert(inputs.end(), s.begin(), s.end());
+      targets.insert(targets.end(), t.begin(), t.end());
+      ++count;
+    }
+    if (count == 0) {
+      return Status::FailedPrecondition(
+          "PTUPCDR: no overlapping training users");
+    }
+    nn::Tensor x = nn::Tensor::FromData({count, d}, inputs);
+    nn::Adam warmup(global_mapping_->Parameters(), config_.warmup_lr);
+    for (int epoch = 0; epoch < config_.warmup_epochs; ++epoch) {
+      warmup.ZeroGrad();
+      nn::Tensor loss = nn::MseLoss(global_mapping_->Forward(x), targets);
+      loss.Backward();
+      warmup.Step();
+    }
+  }
+
+  meta_network_ = std::make_unique<nn::Mlp>(
+      std::vector<int>{d, config_.meta_hidden, d * d}, /*dropout=*/0.0f,
+      &rng);
+  nn::Adam optimizer(meta_network_->Parameters(), config_.meta_lr, 0.9f,
+                     0.999f, 1e-8f, config_.weight_decay);
+
+  // Task-based training: the personalized bridge must predict target-domain
+  // rating residuals (r - μ - b_i) of training users.
+  struct Sample {
+    std::vector<float> characteristic;  // c_u
+    std::vector<float> source_factor;   // p_u^s
+    std::vector<float> global_mapped;   // global_mapping(p_u^s), frozen
+    std::vector<float> item_factor;     // q_i
+    float residual;
+  };
+  std::vector<Sample> samples;
+  global_mapping_->set_training(false);
+  for (const RatingTriple& t : target_ratings) {
+    if (!source_mf_->HasUser(t.user) || !target_mf_->HasItem(t.item)) {
+      continue;
+    }
+    Sample s;
+    s.characteristic = CharacteristicVector(cross, t.user);
+    s.source_factor = source_mf_->UserFactor(t.user);
+    s.global_mapped =
+        global_mapping_
+            ->Forward(nn::Tensor::FromData({1, d}, s.source_factor))
+            .data();
+    s.item_factor = target_mf_->ItemFactor(t.item);
+    s.residual = t.rating - target_mf_->global_mean() -
+                 target_mf_->ItemBias(t.item);
+    samples.push_back(std::move(s));
+  }
+  if (samples.empty()) {
+    return Status::FailedPrecondition("PTUPCDR: no usable task samples");
+  }
+
+  std::vector<int> order(samples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  for (int epoch = 0; epoch < config_.task_epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(config_.batch_size)) {
+      size_t end = std::min(order.size(),
+                            start + static_cast<size_t>(config_.batch_size));
+      optimizer.ZeroGrad();
+      std::vector<nn::Tensor> preds;
+      std::vector<float> residuals;
+      for (size_t j = start; j < end; ++j) {
+        const Sample& s = samples[static_cast<size_t>(order[j])];
+        nn::Tensor c = nn::Tensor::FromData({1, d}, s.characteristic);
+        nn::Tensor bridge =
+            nn::Reshape(meta_network_->Forward(c), {d, d});
+        nn::Tensor p = nn::Tensor::FromData({1, d}, s.source_factor);
+        nn::Tensor g = nn::Tensor::FromData({1, d}, s.global_mapped);
+        // Personalized residual on top of the frozen global mapping.
+        nn::Tensor mapped = nn::Add(g, nn::MatMul(p, bridge));
+        nn::Tensor q = nn::Tensor::FromData({1, d}, s.item_factor);
+        preds.push_back(nn::RowSum(nn::Mul(mapped, q)));  // [1, 1]
+        residuals.push_back(s.residual);
+      }
+      nn::Tensor pred = preds.size() == 1 ? preds[0] : nn::ConcatRows(preds);
+      nn::Tensor loss = nn::MseLoss(pred, residuals);
+      loss.Backward();
+      optimizer.Step();
+    }
+  }
+
+  // Precompute personalized mapped factors for all source users.
+  mapped_factor_.clear();
+  meta_network_->set_training(false);
+  for (int u : cross.source().users()) {
+    if (!source_mf_->HasUser(u)) continue;
+    mapped_factor_[u] = MapUser(cross, u);
+  }
+  return Status::OK();
+}
+
+std::vector<float> Ptupcdr::MapUser(const data::CrossDomainDataset& cross,
+                                    int user_id) {
+  int d = config_.mf.dim;
+  nn::Tensor c =
+      nn::Tensor::FromData({1, d}, CharacteristicVector(cross, user_id));
+  nn::Tensor bridge = nn::Reshape(meta_network_->Forward(c), {d, d});
+  nn::Tensor p =
+      nn::Tensor::FromData({1, d}, source_mf_->UserFactor(user_id));
+  return nn::Add(global_mapping_->Forward(p), nn::MatMul(p, bridge)).data();
+}
+
+float Ptupcdr::PredictRating(int user_id, int item_id) const {
+  float pred = target_mf_->global_mean();
+  if (target_mf_->HasItem(item_id)) {
+    pred += target_mf_->ItemBias(item_id);
+    auto it = mapped_factor_.find(user_id);
+    if (it != mapped_factor_.end()) {
+      std::vector<float> q = target_mf_->ItemFactor(item_id);
+      for (size_t k = 0; k < q.size(); ++k) pred += it->second[k] * q[k];
+    }
+  }
+  return std::clamp(pred, 1.0f, 5.0f);
+}
+
+}  // namespace baselines
+}  // namespace omnimatch

@@ -1,0 +1,44 @@
+#include "baselines/recommender.h"
+
+#include <unordered_set>
+
+namespace omnimatch {
+namespace baselines {
+
+eval::Metrics EvaluateRecommender(const Recommender& model,
+                                  const data::CrossDomainDataset& cross,
+                                  const std::vector<int>& users) {
+  eval::MetricsAccumulator acc;
+  for (int u : users) {
+    for (int idx : cross.target().RecordsOfUser(u)) {
+      const data::Review& r = cross.target().reviews()[idx];
+      acc.Add(model.PredictRating(u, r.item_id), r.rating);
+    }
+  }
+  return acc.Finalize();
+}
+
+std::vector<RatingTriple> VisibleRatings(const data::CrossDomainDataset& cross,
+                                         const data::ColdStartSplit& split,
+                                         bool include_source,
+                                         bool include_target) {
+  std::vector<RatingTriple> out;
+  if (include_source) {
+    for (const data::Review& r : cross.source().reviews()) {
+      out.push_back({r.user_id, r.item_id, r.rating});
+    }
+  }
+  if (include_target) {
+    std::unordered_set<int> train_set(split.train_users.begin(),
+                                      split.train_users.end());
+    for (const data::Review& r : cross.target().reviews()) {
+      if (train_set.count(r.user_id) > 0) {
+        out.push_back({r.user_id, r.item_id, r.rating});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace omnimatch

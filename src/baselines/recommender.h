@@ -1,0 +1,57 @@
+#ifndef OMNIMATCH_BASELINES_RECOMMENDER_H_
+#define OMNIMATCH_BASELINES_RECOMMENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/splits.h"
+#include "eval/metrics.h"
+
+namespace omnimatch {
+namespace baselines {
+
+/// Common interface for every comparison method (§5.3).
+///
+/// Training-visible data under the §5.2 cold-start protocol:
+///  * every source-domain record (cold users' source history is known);
+///  * target-domain records of split.train_users only.
+/// Implementations must not read other target records.
+class Recommender {
+ public:
+  virtual ~Recommender() = default;
+
+  /// Trains on the scenario. `cross` must outlive the recommender.
+  virtual Status Fit(const data::CrossDomainDataset& cross,
+                     const data::ColdStartSplit& split) = 0;
+
+  /// Predicted rating for a (possibly cold-start) user on a target item.
+  virtual float PredictRating(int user_id, int item_id) const = 0;
+
+  /// Display name matching the paper's tables (e.g. "EMCDR").
+  virtual std::string name() const = 0;
+};
+
+/// RMSE/MAE of `model` over the target-domain records of `users`
+/// (the Eq. 22-23 cold-start evaluation).
+eval::Metrics EvaluateRecommender(const Recommender& model,
+                                  const data::CrossDomainDataset& cross,
+                                  const std::vector<int>& users);
+
+/// The (user, item, rating) triples a baseline may train on; see the class
+/// comment. `include_source` / `include_target` select the domains.
+struct RatingTriple {
+  int user = -1;
+  int item = -1;
+  float rating = 0.0f;
+};
+std::vector<RatingTriple> VisibleRatings(const data::CrossDomainDataset& cross,
+                                         const data::ColdStartSplit& split,
+                                         bool include_source,
+                                         bool include_target);
+
+}  // namespace baselines
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_BASELINES_RECOMMENDER_H_

@@ -1,0 +1,15 @@
+#include "common/check.h"
+
+namespace omnimatch {
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& extra) {
+  std::fprintf(stderr, "[omnimatch] CHECK failed at %s:%d: %s %s\n", file,
+               line, expr, extra.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace omnimatch

@@ -1,0 +1,57 @@
+#ifndef OMNIMATCH_COMMON_CHECK_H_
+#define OMNIMATCH_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace omnimatch {
+namespace internal {
+
+/// Prints a fatal diagnostic and aborts. Out-of-line so the macros stay small.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+
+/// Stream sink used by the OM_CHECK macros to collect an optional message.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace omnimatch
+
+/// Aborts with a diagnostic when `cond` is false. For programmer errors
+/// (shape mismatches, index bounds), not for recoverable input errors.
+/// Supports streaming extra context: OM_CHECK(a == b) << "a=" << a;
+#define OM_CHECK(cond)                                                       \
+  if (cond) {                                                                \
+  } else /* NOLINT */                                                        \
+    ::omnimatch::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#define OM_CHECK_EQ(a, b) OM_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define OM_CHECK_NE(a, b) OM_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define OM_CHECK_LT(a, b) OM_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define OM_CHECK_LE(a, b) OM_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define OM_CHECK_GT(a, b) OM_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define OM_CHECK_GE(a, b) OM_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // OMNIMATCH_COMMON_CHECK_H_

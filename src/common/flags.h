@@ -1,0 +1,38 @@
+#ifndef OMNIMATCH_COMMON_FLAGS_H_
+#define OMNIMATCH_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace omnimatch {
+
+/// Minimal command-line flag parser for the benchmark and example binaries.
+///
+/// Accepts `--name=value` and `--name value`; bare `--name` is treated as
+/// boolean true. Anything not starting with `--` is a positional argument.
+class FlagParser {
+ public:
+  /// Parses argv. Returns InvalidArgument on malformed input.
+  Status Parse(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int GetInt(const std::string& name, int default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_COMMON_FLAGS_H_

@@ -1,0 +1,50 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace omnimatch {
+
+namespace {
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+void EmitLog(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) <
+      g_min_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::string line = "[omnimatch ";
+  line += LevelTag(level);
+  line += "] ";
+  line += message;
+  line += "\n";
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace internal
+}  // namespace omnimatch

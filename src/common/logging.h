@@ -1,0 +1,43 @@
+#ifndef OMNIMATCH_COMMON_LOGGING_H_
+#define OMNIMATCH_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace omnimatch {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Emits a finished log line to stderr. Thread-safe (single write call).
+void EmitLog(LogLevel level, const std::string& message);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { EmitLog(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace omnimatch
+
+/// Streaming log macros: OM_LOG(INFO) << "epoch " << e;
+#define OM_LOG(severity) \
+  ::omnimatch::internal::LogMessage(::omnimatch::LogLevel::k##severity)
+
+#endif  // OMNIMATCH_COMMON_LOGGING_H_

@@ -1,0 +1,104 @@
+#ifndef OMNIMATCH_COMMON_STATUS_H_
+#define OMNIMATCH_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace omnimatch {
+
+/// Error codes used across the library. Modeled after the RocksDB/Abseil
+/// convention: a small closed set of codes plus a human-readable message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation. Cheap to copy when OK (no allocation).
+///
+/// The library never throws; every operation that can fail due to bad input
+/// or environment returns a `Status` (or `Result<T>`). Programmer errors
+/// (e.g. tensor shape mismatches) abort via OM_CHECK instead.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error union for fallible factory functions.
+///
+/// Usage:
+///   Result<Vocabulary> r = Vocabulary::Load(path);
+///   if (!r.ok()) return r.status();
+///   Vocabulary v = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: allows `return MakeThing();`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from an error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+/// Propagates a non-OK status to the caller.
+#define OM_RETURN_IF_ERROR(expr)                \
+  do {                                          \
+    ::omnimatch::Status _s = (expr);            \
+    if (!_s.ok()) return _s;                    \
+  } while (false)
+
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_COMMON_STATUS_H_

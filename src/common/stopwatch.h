@@ -1,0 +1,32 @@
+#ifndef OMNIMATCH_COMMON_STOPWATCH_H_
+#define OMNIMATCH_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace omnimatch {
+
+/// Simple wall-clock stopwatch used by the training-time experiments
+/// (Table 6) and by the trainer's per-epoch reporting.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts timing from now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_COMMON_STOPWATCH_H_

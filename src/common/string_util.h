@@ -1,0 +1,35 @@
+#ifndef OMNIMATCH_COMMON_STRING_UTIL_H_
+#define OMNIMATCH_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace omnimatch {
+
+/// Splits `text` on `delim`, keeping empty fields (CSV semantics).
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Splits on any run of ASCII whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_COMMON_STRING_UTIL_H_

@@ -1,0 +1,90 @@
+#include "core/aux_review.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace omnimatch {
+namespace core {
+
+AuxReviewGenerator::AuxReviewGenerator(const data::CrossDomainDataset* cross,
+                                       std::vector<int> eligible_users,
+                                       TextField field)
+    : cross_(cross),
+      eligible_sorted_(std::move(eligible_users)),
+      field_(field) {
+  OM_CHECK(cross_ != nullptr);
+  std::sort(eligible_sorted_.begin(), eligible_sorted_.end());
+  eligible_set_.insert(eligible_sorted_.begin(), eligible_sorted_.end());
+}
+
+const std::string& AuxReviewGenerator::TextOf(
+    const data::Review& review) const {
+  return field_ == TextField::kSummary ? review.summary : review.full_text;
+}
+
+std::vector<std::string> AuxReviewGenerator::GenerateForUser(
+    int user_id, Rng* rng, AuxReviewTrace* trace) const {
+  OM_CHECK(rng != nullptr);
+  if (trace != nullptr) {
+    trace->user_id = user_id;
+    trace->choices.clear();
+  }
+  const data::DomainDataset& source = cross_->source();
+  const data::DomainDataset& target = cross_->target();
+
+  std::vector<std::string> aux_reviews;
+  // foreach record in u's source-domain purchase records (Alg. 1 line 5).
+  for (int rec_idx : source.RecordsOfUser(user_id)) {
+    const data::Review& record = source.reviews()[rec_idx];
+
+    AuxReviewChoice choice;
+    choice.source_item = record.item_id;
+    choice.rating = record.rating;
+    choice.source_review = TextOf(record);
+
+    // like_minded_s = users who rated the same item with the same rating
+    // (line 7), filtered to overlapping training users (lines 8-11).
+    std::vector<int> like_minded_t;
+    for (int v : source.UsersWhoRated(record.item_id, record.rating)) {
+      if (v != user_id && eligible_set_.count(v) > 0) {
+        like_minded_t.push_back(v);
+      }
+    }
+    // A user can appear once per matching record; Algorithm 1 uses a set.
+    std::sort(like_minded_t.begin(), like_minded_t.end());
+    like_minded_t.erase(
+        std::unique(like_minded_t.begin(), like_minded_t.end()),
+        like_minded_t.end());
+    choice.num_like_minded = static_cast<int>(like_minded_t.size());
+
+    if (!like_minded_t.empty()) {
+      // Randomly select one like-minded user (line 12).
+      int aux_user = like_minded_t[rng->UniformU32(
+          static_cast<uint32_t>(like_minded_t.size()))];
+      choice.like_minded_user = aux_user;
+      // Randomly select one of their target-domain records (lines 13-15).
+      const std::vector<int>& aux_records = target.RecordsOfUser(aux_user);
+      if (!aux_records.empty()) {
+        const data::Review& aux_record = target.reviews()[aux_records[
+            rng->UniformU32(static_cast<uint32_t>(aux_records.size()))]];
+        choice.target_item = aux_record.item_id;
+        choice.aux_review = TextOf(aux_record);
+        aux_reviews.push_back(choice.aux_review);
+      }
+    }
+    if (trace != nullptr) trace->choices.push_back(std::move(choice));
+  }
+  return aux_reviews;
+}
+
+std::vector<std::vector<std::string>> AuxReviewGenerator::GenerateAll(
+    const std::vector<int>& cold_users, Rng* rng) const {
+  std::vector<std::vector<std::string>> out;
+  out.reserve(cold_users.size());
+  for (int u : cold_users) out.push_back(GenerateForUser(u, rng));
+  return out;
+}
+
+}  // namespace core
+}  // namespace omnimatch

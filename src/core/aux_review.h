@@ -1,0 +1,83 @@
+#ifndef OMNIMATCH_CORE_AUX_REVIEW_H_
+#define OMNIMATCH_CORE_AUX_REVIEW_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/config.h"
+#include "data/dataset.h"
+
+namespace omnimatch {
+namespace core {
+
+/// One step of Algorithm 1 for a single source-domain purchase record:
+/// which like-minded user was picked and which of their target-domain
+/// reviews was appended to the auxiliary document. Used by the §5.10 case
+/// study and by tests.
+struct AuxReviewChoice {
+  int source_item = -1;
+  float rating = 0.0f;
+  std::string source_review;      // the cold user's own source review
+  int num_like_minded = 0;        // |like_minded_t| for this record
+  int like_minded_user = -1;      // -1 when no like-minded user existed
+  int target_item = -1;           // item whose review was borrowed
+  std::string aux_review;         // empty when skipped
+};
+
+/// Full generation trace for one cold-start user.
+struct AuxReviewTrace {
+  int user_id = -1;
+  std::vector<AuxReviewChoice> choices;
+};
+
+/// The Auxiliary Reviews Generation Module (§4.1, Algorithm 1).
+///
+/// For a cold-start user u: for every purchase record (item, rating) of u in
+/// the source domain, find the overlapping users who gave the *same item the
+/// same rating* (the like-minded users, restricted to `eligible_users` —
+/// the training overlap users whose target-domain data the model may see),
+/// pick one uniformly at random, pick one of their target-domain records
+/// uniformly at random, and append that record's review text to u's
+/// auxiliary target-domain document.
+///
+/// Precomputed dictionaries (the two maps of the §4.1 complexity analysis)
+/// live on `DomainDataset`, making each lookup O(1); generation for one user
+/// is O(M·Q) with M = user's source records, Q = mean like-minded set size.
+class AuxReviewGenerator {
+ public:
+  /// `cross` must outlive the generator. `eligible_users` are the users
+  /// whose target reviews may be borrowed (train overlap users).
+  AuxReviewGenerator(const data::CrossDomainDataset* cross,
+                     std::vector<int> eligible_users,
+                     TextField field = TextField::kSummary);
+
+  /// Runs Algorithm 1's inner loop for one user. Returns the auxiliary
+  /// review texts (one per usable source record). `trace`, when non-null,
+  /// receives the full decision log including skipped records.
+  std::vector<std::string> GenerateForUser(int user_id, Rng* rng,
+                                           AuxReviewTrace* trace = nullptr) const;
+
+  /// Algorithm 1's outer loop: auxiliary documents for every user in
+  /// `cold_users`, in order.
+  std::vector<std::vector<std::string>> GenerateAll(
+      const std::vector<int>& cold_users, Rng* rng) const;
+
+  const std::vector<int>& eligible_users() const {
+    return eligible_sorted_;
+  }
+
+ private:
+  const std::string& TextOf(const data::Review& review) const;
+
+  const data::CrossDomainDataset* cross_;
+  std::vector<int> eligible_sorted_;
+  std::unordered_set<int> eligible_set_;
+  TextField field_;
+};
+
+}  // namespace core
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_CORE_AUX_REVIEW_H_

@@ -1,0 +1,59 @@
+#include "core/config.h"
+
+#include "common/string_util.h"
+
+namespace omnimatch {
+namespace core {
+
+Status OmniMatchConfig::Validate() const {
+  if (embed_dim <= 0) return Status::InvalidArgument("embed_dim must be > 0");
+  if (cnn_channels <= 0) {
+    return Status::InvalidArgument("cnn_channels must be > 0");
+  }
+  if (kernel_sizes.empty()) {
+    return Status::InvalidArgument("kernel_sizes must be non-empty");
+  }
+  for (int k : kernel_sizes) {
+    if (k <= 0 || k > doc_len || k > item_doc_len) {
+      return Status::InvalidArgument(
+          StrFormat("kernel size %d out of range for doc_len %d", k,
+                    doc_len));
+    }
+  }
+  if (feature_dim <= 0) {
+    return Status::InvalidArgument("feature_dim must be > 0");
+  }
+  if (projection_dim <= 0) {
+    return Status::InvalidArgument("projection_dim must be > 0");
+  }
+  if (doc_len <= 0 || item_doc_len <= 0) {
+    return Status::InvalidArgument("document lengths must be > 0");
+  }
+  if (num_rating_classes < 2) {
+    return Status::InvalidArgument("num_rating_classes must be >= 2");
+  }
+  if (dropout < 0.0f || dropout >= 1.0f) {
+    return Status::InvalidArgument("dropout must be in [0, 1)");
+  }
+  if (batch_size <= 1) {
+    return Status::InvalidArgument(
+        "batch_size must be > 1 (contrastive loss needs pairs)");
+  }
+  if (epochs < 0) return Status::InvalidArgument("epochs must be >= 0");
+  if (learning_rate <= 0.0f) {
+    return Status::InvalidArgument("learning_rate must be > 0");
+  }
+  if (adadelta_rho <= 0.0f || adadelta_rho >= 1.0f) {
+    return Status::InvalidArgument("adadelta_rho must be in (0, 1)");
+  }
+  if (alpha < 0.0f || beta < 0.0f) {
+    return Status::InvalidArgument("loss weights must be >= 0");
+  }
+  if (temperature <= 0.0f) {
+    return Status::InvalidArgument("temperature must be > 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace omnimatch

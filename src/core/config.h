@@ -1,0 +1,133 @@
+#ifndef OMNIMATCH_CORE_CONFIG_H_
+#define OMNIMATCH_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace omnimatch {
+namespace core {
+
+/// Which text feature extractor backs the Feature Extraction Module.
+enum class ExtractorKind {
+  kCnn,          // the paper's default (§4.2)
+  kTransformer,  // the Table 5 "OmniMatch-BERT" substitute
+};
+
+/// Which review field feeds the documents (§5.2 / Table 5).
+enum class TextField {
+  kSummary,   // "review summary" — the paper's default
+  kFullText,  // "reviewText" — the OmniMatch-ReviewText ablation
+};
+
+/// Optimizer choice. The paper trains with Adadelta (§5.4); Adam is provided
+/// because at this repository's reduced model scale it converges in far
+/// fewer epochs (see DESIGN.md §7).
+enum class OptimizerKind { kAdadelta, kAdam };
+
+/// All hyperparameters of OmniMatch plus the ablation switches used by the
+/// Table 5 experiments. Defaults are the paper's values scaled for CPU
+/// execution (see DESIGN.md §7; paper values in comments).
+struct OmniMatchConfig {
+  // --- architecture ---
+  int embed_dim = 32;                      // paper: 300 (fastText)
+  int cnn_channels = 24;                   // paper: 200 kernels
+  std::vector<int> kernel_sizes = {3, 4, 5};  // paper: (3, 4, 5)
+  int feature_dim = 48;   // width of invariant and specific features
+  int projection_dim = 24;                 // paper: 128
+  int doc_len = 64;       // tokens kept per user document
+  int item_doc_len = 96;  // tokens kept per item document
+  int num_rating_classes = 5;
+
+  // --- optimization (§5.4) ---
+  float dropout = 0.4f;
+  int batch_size = 64;
+  int epochs = 10;                         // paper: 15
+  /// Default optimizer is Adam: the paper's Adadelta (lr 0.02, ρ 0.95) is
+  /// implemented and selectable, but at this repository's reduced model
+  /// scale it needs several times more epochs to converge (see
+  /// EXPERIMENTS.md, optimizer ablation).
+  OptimizerKind optimizer = OptimizerKind::kAdam;
+  float learning_rate = 0.02f;             // Adadelta lr (paper §5.4)
+  float adadelta_rho = 0.95f;
+  float adam_lr = 2e-3f;  // used when optimizer == kAdam
+  float grad_clip_norm = 5.0f;
+  /// After each epoch, evaluate on the split's validation users and keep the
+  /// parameters of the best epoch (standard validation-based model
+  /// selection; the paper's validation half of the cold users exists for
+  /// exactly this).
+  bool select_best_epoch = true;
+
+  // --- loss weights (§4.5, §5.8) ---
+  float alpha = 0.2f;  // supervised contrastive weight
+  float beta = 0.1f;   // domain-adversarial weight
+  float temperature = 0.07f;
+  float grl_lambda = 1.0f;
+
+  /// Feed the rating classifier an explicit elementwise-product feature
+  /// (projected user ⊙ item) alongside the concatenation. Plain concat-MLPs
+  /// approximate multiplicative user-item interactions poorly — DeepCoNN
+  /// (the paper's ancestor) used a Factorization Machine for the same
+  /// reason. Off reproduces the paper's literal Eq. 18 input.
+  bool use_interaction_features = true;
+
+  /// Concatenate the document's mean token embedding (bag-of-words mean) to
+  /// the CNN output before the feature heads. Max-over-time pooling encodes
+  /// word *presence*; the mean embedding adds word *frequency*, which the
+  /// user/item taste profiles live in. Ablatable back to the paper's pure
+  /// max-pooled features.
+  bool use_mean_embedding_feature = true;
+
+  /// Cold-start self-simulation (extension over the paper, ablatable):
+  /// with this probability a training user's target document is replaced,
+  /// per batch, by an Algorithm 1 auxiliary document generated from the
+  /// *other* training users. This trains the target extractor and rating
+  /// classifier on the same input distribution cold-start users will
+  /// present at inference. 0 reproduces the paper's training exactly.
+  float aux_augmentation_prob = 0.5f;
+  /// Hybrid cold-start inference (extension, ablatable): besides the
+  /// auxiliary-document target features, also score each pair with a hybrid
+  /// representation [source-invariant ⊕ target-specific] and average. The
+  /// invariant half comes from the user's OWN source document — exactly the
+  /// features the DA + SCL modules align across domains — so the paper's
+  /// domain-invariant machinery is exercised at inference, not only in
+  /// training. The rating classifier is trained on the same hybrid input.
+  bool use_hybrid_inference = false;
+
+  /// Number of independently sampled auxiliary documents per cold-start
+  /// user; predictions are averaged over them at evaluation time. Algorithm
+  /// 1 is stochastic (random like-minded user, random review), so averaging
+  /// integrates out the sampling noise. 1 reproduces the paper's single
+  /// draw.
+  int aux_eval_samples = 4;
+
+  // --- regularization of the text pipeline ---
+  /// During training, documents are re-assembled per batch with the user's
+  /// (or item's) reviews in a fresh random order; evaluation documents are
+  /// fixed. Review order inside a concatenated document is arbitrary
+  /// (Eq. 1), so this augmentation only removes order memorization.
+  bool shuffle_reviews_in_training = true;
+  /// Probability of masking a token to <pad> during training assembly.
+  float word_dropout = 0.1f;
+
+  // --- ablation switches (Table 5) ---
+  bool use_scl = true;
+  bool use_domain_adversarial = true;
+  bool use_aux_reviews = true;
+  ExtractorKind extractor = ExtractorKind::kCnn;
+  TextField text_field = TextField::kSummary;
+
+  // --- misc ---
+  int min_vocab_count = 1;
+  uint64_t seed = 7;
+  bool verbose = false;
+
+  /// Validates ranges; returns InvalidArgument describing the first problem.
+  Status Validate() const;
+};
+
+}  // namespace core
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_CORE_CONFIG_H_

@@ -1,0 +1,614 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <array>
+#include <fstream>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "nn/losses.h"
+#include "nn/ops.h"
+#include "text/document.h"
+#include "text/tokenizer.h"
+
+namespace omnimatch {
+namespace core {
+
+using data::DomainSide;
+using nn::Tensor;
+
+OmniMatchTrainer::OmniMatchTrainer(const OmniMatchConfig& config,
+                                   const data::CrossDomainDataset* cross,
+                                   data::ColdStartSplit split)
+    : config_(config),
+      cross_(cross),
+      split_(std::move(split)),
+      rng_(config.seed) {
+  OM_CHECK(cross_ != nullptr);
+}
+
+const std::string& OmniMatchTrainer::TextOf(const data::Review& review) const {
+  return config_.text_field == TextField::kSummary ? review.summary
+                                                   : review.full_text;
+}
+
+Status OmniMatchTrainer::Prepare() {
+  OM_RETURN_IF_ERROR(config_.Validate());
+  if (split_.train_users.empty()) {
+    return Status::FailedPrecondition("split has no training users");
+  }
+  aux_generator_ = std::make_unique<AuxReviewGenerator>(
+      cross_, split_.train_users, config_.text_field);
+  BuildVocabulary();
+  BuildDocuments();
+  if (train_samples_.empty()) {
+    return Status::FailedPrecondition(
+        "training users have no target-domain records");
+  }
+  model_ = std::make_unique<OmniMatchModel>(config_, vocab_.size(), &rng_);
+  if (config_.optimizer == OptimizerKind::kAdadelta) {
+    optimizer_ = std::make_unique<nn::Adadelta>(
+        model_->Parameters(), config_.learning_rate, config_.adadelta_rho);
+  } else {
+    optimizer_ =
+        std::make_unique<nn::Adam>(model_->Parameters(), config_.adam_lr);
+  }
+  prepared_ = true;
+  if (config_.verbose) {
+    OM_LOG(Info) << "prepared " << cross_->ScenarioName() << ": vocab "
+                 << vocab_.size() << ", train samples "
+                 << train_samples_.size() << ", params "
+                 << model_->NumParameters();
+  }
+  return Status::OK();
+}
+
+void OmniMatchTrainer::BuildVocabulary() {
+  // Training-visible text: every source-domain review (cold users' source
+  // history is known) plus target-domain reviews of training users only.
+  std::vector<std::vector<std::string>> docs;
+  for (const data::Review& r : cross_->source().reviews()) {
+    docs.push_back(text::Tokenize(TextOf(r)));
+  }
+  std::unordered_set<int> train_set(split_.train_users.begin(),
+                                    split_.train_users.end());
+  for (const data::Review& r : cross_->target().reviews()) {
+    if (train_set.count(r.user_id) > 0) {
+      docs.push_back(text::Tokenize(TextOf(r)));
+    }
+  }
+  vocab_ = text::Vocabulary();
+  vocab_.BuildFromDocuments(docs, config_.min_vocab_count);
+}
+
+void OmniMatchTrainer::BuildDocuments() {
+  user_source_docs_.clear();
+  user_target_docs_.clear();
+  item_docs_.clear();
+  train_samples_.clear();
+
+  std::unordered_set<int> train_set(split_.train_users.begin(),
+                                    split_.train_users.end());
+
+  user_source_reviews_.clear();
+  user_target_reviews_.clear();
+  item_reviews_.clear();
+
+  auto reviews_of = [&](const data::DomainDataset& domain,
+                        int user) -> std::vector<std::string> {
+    std::vector<std::string> texts;
+    for (int idx : domain.RecordsOfUser(user)) {
+      texts.push_back(TextOf(domain.reviews()[idx]));
+    }
+    return texts;
+  };
+  auto encode_each = [&](const std::vector<std::string>& texts) {
+    std::vector<std::vector<int>> out;
+    out.reserve(texts.size());
+    for (const std::string& t : texts) {
+      out.push_back(vocab_.Encode(text::Tokenize(t)));
+    }
+    return out;
+  };
+
+  // Source documents for every overlapping user (R^u of Eq. 1).
+  for (int u : cross_->overlapping_users()) {
+    std::vector<std::string> texts = reviews_of(cross_->source(), u);
+    user_source_docs_[u] =
+        text::BuildDocumentIds(texts, vocab_, config_.doc_len);
+    user_source_reviews_[u] = encode_each(texts);
+  }
+
+  // Target documents: training users use their real target reviews; cold
+  // users get Algorithm 1 auxiliary documents (or their source reviews as a
+  // degraded fallback in the w/o-AuxReviews ablation).
+  train_aux_reviews_.clear();
+  for (int u : split_.train_users) {
+    std::vector<std::string> texts = reviews_of(cross_->target(), u);
+    user_target_docs_[u] =
+        text::BuildDocumentIds(texts, vocab_, config_.doc_len);
+    user_target_reviews_[u] = encode_each(texts);
+    if (config_.aux_augmentation_prob > 0.0f) {
+      // Cold-start self-simulation: the generator already excludes the user
+      // themselves from the like-minded pool.
+      train_aux_reviews_[u] =
+          encode_each(aux_generator_->GenerateForUser(u, &rng_));
+    }
+  }
+  cold_aux_doc_variants_.clear();
+  std::vector<int> cold_users = split_.validation_users;
+  cold_users.insert(cold_users.end(), split_.test_users.begin(),
+                    split_.test_users.end());
+  int samples = std::max(1, config_.aux_eval_samples);
+  for (int u : cold_users) {
+    for (int k = 0; k < (config_.use_aux_reviews ? samples : 1); ++k) {
+      std::vector<std::string> reviews =
+          config_.use_aux_reviews ? aux_generator_->GenerateForUser(u, &rng_)
+                                  : reviews_of(cross_->source(), u);
+      if (reviews.empty()) reviews = reviews_of(cross_->source(), u);
+      std::vector<int> doc =
+          text::BuildDocumentIds(reviews, vocab_, config_.doc_len);
+      if (k == 0) {
+        user_target_docs_[u] = std::move(doc);
+      } else {
+        cold_aux_doc_variants_[u].push_back(std::move(doc));
+      }
+    }
+  }
+
+  // Item documents from training users' target reviews only (test users'
+  // reviews are hidden).
+  empty_item_doc_.assign(static_cast<size_t>(config_.item_doc_len),
+                         text::Vocabulary::kPadId);
+  for (int item : cross_->target().items()) {
+    std::vector<std::string> texts;
+    for (int idx : cross_->target().RecordsOfItem(item)) {
+      const data::Review& r = cross_->target().reviews()[idx];
+      if (train_set.count(r.user_id) > 0) texts.push_back(TextOf(r));
+    }
+    item_docs_[item] = texts.empty()
+                           ? empty_item_doc_
+                           : text::BuildDocumentIds(texts, vocab_,
+                                                    config_.item_doc_len);
+    item_reviews_[item] = encode_each(texts);
+  }
+
+  // Training samples: target-domain records of training users.
+  for (int u : split_.train_users) {
+    for (int idx : cross_->target().RecordsOfUser(u)) {
+      const data::Review& r = cross_->target().reviews()[idx];
+      TrainSample s;
+      s.user = u;
+      s.item = r.item_id;
+      s.label = std::clamp(static_cast<int>(std::lround(r.rating)) - 1, 0,
+                           config_.num_rating_classes - 1);
+      train_samples_.push_back(s);
+    }
+  }
+}
+
+std::vector<int> OmniMatchTrainer::GatherDocs(
+    const std::unordered_map<int, std::vector<int>>& docs,
+    const std::vector<int>& keys, int doc_len) const {
+  std::vector<int> flat;
+  flat.reserve(keys.size() * static_cast<size_t>(doc_len));
+  for (int key : keys) {
+    auto it = docs.find(key);
+    if (it == docs.end()) {
+      flat.insert(flat.end(), static_cast<size_t>(doc_len),
+                  text::Vocabulary::kPadId);
+    } else {
+      OM_CHECK_EQ(it->second.size(), static_cast<size_t>(doc_len));
+      flat.insert(flat.end(), it->second.begin(), it->second.end());
+    }
+  }
+  return flat;
+}
+
+void OmniMatchTrainer::AppendTrainingDoc(
+    const std::vector<std::vector<int>>* reviews, int doc_len,
+    std::vector<int>* flat) {
+  size_t before = flat->size();
+  if (reviews != nullptr && !reviews->empty()) {
+    std::vector<int> order(reviews->size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+    if (config_.shuffle_reviews_in_training) rng_.Shuffle(order);
+    for (int r : order) {
+      const std::vector<int>& tokens = (*reviews)[static_cast<size_t>(r)];
+      for (int tok : tokens) {
+        if (flat->size() - before >= static_cast<size_t>(doc_len)) break;
+        bool masked = config_.word_dropout > 0.0f &&
+                      rng_.Bernoulli(config_.word_dropout);
+        flat->push_back(masked ? text::Vocabulary::kPadId : tok);
+      }
+      if (flat->size() - before >= static_cast<size_t>(doc_len)) break;
+    }
+  }
+  while (flat->size() - before < static_cast<size_t>(doc_len)) {
+    flat->push_back(text::Vocabulary::kPadId);
+  }
+}
+
+std::vector<int> OmniMatchTrainer::GatherTrainingDocs(
+    const std::unordered_map<int, std::vector<std::vector<int>>>& reviews,
+    const std::unordered_map<int, std::vector<int>>& fixed_docs,
+    const std::vector<int>& keys, int doc_len) {
+  if (!config_.shuffle_reviews_in_training && config_.word_dropout <= 0.0f) {
+    return GatherDocs(fixed_docs, keys, doc_len);
+  }
+  std::vector<int> flat;
+  flat.reserve(keys.size() * static_cast<size_t>(doc_len));
+  for (int key : keys) {
+    auto it = reviews.find(key);
+    AppendTrainingDoc(it == reviews.end() ? nullptr : &it->second, doc_len,
+                      &flat);
+  }
+  return flat;
+}
+
+std::vector<int> OmniMatchTrainer::GatherTargetTrainingDocs(
+    const std::vector<int>& users) {
+  std::vector<int> flat;
+  flat.reserve(users.size() * static_cast<size_t>(config_.doc_len));
+  for (int u : users) {
+    const std::vector<std::vector<int>>* reviews = nullptr;
+    if (config_.aux_augmentation_prob > 0.0f &&
+        rng_.Bernoulli(config_.aux_augmentation_prob)) {
+      auto aux = train_aux_reviews_.find(u);
+      if (aux != train_aux_reviews_.end() && !aux->second.empty()) {
+        reviews = &aux->second;
+      }
+    }
+    if (reviews == nullptr) {
+      auto real = user_target_reviews_.find(u);
+      if (real != user_target_reviews_.end()) reviews = &real->second;
+    }
+    AppendTrainingDoc(reviews, config_.doc_len, &flat);
+  }
+  return flat;
+}
+
+std::array<double, 4> OmniMatchTrainer::TrainBatch(
+    const std::vector<TrainSample>& batch) {
+  int b = static_cast<int>(batch.size());
+  std::vector<int> users, items;
+  std::vector<int> labels;
+  users.reserve(b);
+  items.reserve(b);
+  labels.reserve(b);
+  for (const TrainSample& s : batch) {
+    users.push_back(s.user);
+    items.push_back(s.item);
+    labels.push_back(s.label);
+  }
+
+  model_->set_training(true);
+  optimizer_->ZeroGrad();
+
+  // --- Feature Extraction Module (Fig. 2 B) ---
+  auto src = model_->ExtractUser(
+      DomainSide::kSource,
+      GatherTrainingDocs(user_source_reviews_, user_source_docs_, users,
+                         config_.doc_len),
+      b);
+  auto tgt = model_->ExtractUser(DomainSide::kTarget,
+                                 GatherTargetTrainingDocs(users), b);
+  Tensor item_rep = model_->ExtractItem(
+      GatherTrainingDocs(item_reviews_, item_docs_, items,
+                         config_.item_doc_len),
+      b);
+
+  Tensor r_source = OmniMatchModel::UserRepresentation(src);
+  Tensor r_target = OmniMatchModel::UserRepresentation(tgt);
+
+  // --- Rating classifier (Eq. 18-19) ---
+  Tensor rating_logits = model_->RatingLogits(r_target, item_rep);
+  Tensor loss = nn::SoftmaxCrossEntropy(rating_logits, labels);
+  if (config_.use_hybrid_inference) {
+    // Train the classifier on the hybrid representation used for cold-start
+    // inference: the user's source-domain invariant features (aligned by
+    // DA + SCL) concatenated with the target-side specific features.
+    Tensor hybrid = nn::ConcatCols({src.invariant, tgt.specific});
+    Tensor hybrid_loss = nn::SoftmaxCrossEntropy(
+        model_->RatingLogits(hybrid, item_rep), labels);
+    loss = nn::Scale(nn::Add(loss, hybrid_loss), 0.5f);
+  }
+  double rating_loss = loss.ScalarValue();
+
+  // --- Contrastive Representation Learning Module (Fig. 2 D, Eq. 11-13):
+  // project source and target user-item pairs; positives share a rating.
+  double scl_loss = 0.0;
+  if (config_.use_scl && config_.alpha > 0.0f) {
+    Tensor x_src = model_->Project(r_source, item_rep);
+    Tensor x_tgt = model_->Project(r_target, item_rep);
+    Tensor features = nn::ConcatRows({x_src, x_tgt});
+    std::vector<int> scl_labels = labels;
+    scl_labels.insert(scl_labels.end(), labels.begin(), labels.end());
+    Tensor scl = nn::SupConLoss(features, scl_labels, config_.temperature);
+    scl_loss = scl.ScalarValue();
+    loss = nn::Add(loss, nn::Scale(scl, config_.alpha));
+  }
+
+  // --- Domain Adversarial Training Module (Fig. 2 C, Eq. 14-17, 20):
+  // invariant features behind the GRL, specific features trained normally.
+  double domain_loss = 0.0;
+  if (config_.use_domain_adversarial && config_.beta > 0.0f) {
+    std::vector<int> domain_labels(static_cast<size_t>(2 * b), 0);
+    for (int i = b; i < 2 * b; ++i) domain_labels[static_cast<size_t>(i)] = 1;
+    Tensor inv = nn::ConcatRows({src.invariant, tgt.invariant});
+    Tensor spec = nn::ConcatRows({src.specific, tgt.specific});
+    Tensor inv_loss = nn::SoftmaxCrossEntropy(
+        model_->DomainLogitsInvariant(inv), domain_labels);
+    Tensor spec_loss = nn::SoftmaxCrossEntropy(
+        model_->DomainLogitsSpecific(spec), domain_labels);
+    Tensor domain = nn::Add(inv_loss, spec_loss);  // Eq. 20
+    domain_loss = domain.ScalarValue();
+    loss = nn::Add(loss, nn::Scale(domain, config_.beta));  // Eq. 21
+  }
+
+  loss.Backward();
+  optimizer_->ClipGradNorm(config_.grad_clip_norm);
+  optimizer_->Step();
+  return {loss.ScalarValue(), rating_loss, scl_loss, domain_loss};
+}
+
+namespace {
+std::vector<std::vector<float>> SnapshotParams(
+    const std::vector<nn::Tensor>& params) {
+  std::vector<std::vector<float>> out;
+  out.reserve(params.size());
+  for (const nn::Tensor& p : params) out.push_back(p.data());
+  return out;
+}
+
+void RestoreParams(std::vector<nn::Tensor>& params,
+                   const std::vector<std::vector<float>>& snapshot) {
+  for (size_t i = 0; i < params.size(); ++i) params[i].data() = snapshot[i];
+}
+}  // namespace
+
+TrainStats OmniMatchTrainer::Train() {
+  OM_CHECK(prepared_) << "call Prepare() first";
+  TrainStats stats;
+  Stopwatch watch;
+  std::vector<TrainSample> samples = train_samples_;
+  const bool track_validation =
+      config_.select_best_epoch && !split_.validation_users.empty();
+  std::vector<nn::Tensor> params = model_->Parameters();
+  std::vector<std::vector<float>> best_params;
+  double best_rmse = 1e30;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng_.Shuffle(samples);
+    double total = 0.0, rating = 0.0, scl = 0.0, domain = 0.0;
+    int batches = 0;
+    for (size_t start = 0; start < samples.size();
+         start += static_cast<size_t>(config_.batch_size)) {
+      size_t end = std::min(samples.size(),
+                            start + static_cast<size_t>(config_.batch_size));
+      if (end - start < 2) break;  // SupCon needs at least a pair
+      std::vector<TrainSample> batch(samples.begin() + start,
+                                     samples.begin() + end);
+      auto losses = TrainBatch(batch);
+      total += losses[0];
+      rating += losses[1];
+      scl += losses[2];
+      domain += losses[3];
+      ++batches;
+      ++stats.steps;
+    }
+    if (batches == 0) break;
+    stats.total_loss.push_back(total / batches);
+    stats.rating_loss.push_back(rating / batches);
+    stats.scl_loss.push_back(scl / batches);
+    stats.domain_loss.push_back(domain / batches);
+    if (track_validation) {
+      double rmse = Evaluate(split_.validation_users).rmse;
+      stats.validation_rmse.push_back(rmse);
+      if (rmse < best_rmse) {
+        best_rmse = rmse;
+        best_params = SnapshotParams(params);
+        stats.best_epoch = epoch;
+      }
+    }
+    if (config_.verbose) {
+      OM_LOG(Info) << StrFormat(
+          "epoch %d: total %.4f rating %.4f scl %.4f domain %.4f%s", epoch,
+          stats.total_loss.back(), stats.rating_loss.back(),
+          stats.scl_loss.back(), stats.domain_loss.back(),
+          track_validation
+              ? StrFormat(" val-rmse %.4f", stats.validation_rmse.back())
+                    .c_str()
+              : "");
+    }
+  }
+  if (track_validation && !best_params.empty()) {
+    RestoreParams(params, best_params);
+  }
+  stats.train_seconds = watch.ElapsedSeconds();
+  return stats;
+}
+
+std::vector<float> OmniMatchTrainer::PredictBatch(
+    const std::vector<TrainSample>& batch) {
+  int b = static_cast<int>(batch.size());
+  std::vector<int> users, items;
+  int max_variants = 0;
+  for (const TrainSample& s : batch) {
+    users.push_back(s.user);
+    items.push_back(s.item);
+    auto it = cold_aux_doc_variants_.find(s.user);
+    if (it != cold_aux_doc_variants_.end()) {
+      max_variants = std::max(max_variants,
+                              static_cast<int>(it->second.size()));
+    }
+  }
+  model_->set_training(false);
+  Tensor item_rep = model_->ExtractItem(
+      GatherDocs(item_docs_, items, config_.item_doc_len), b);
+  int classes = config_.num_rating_classes;
+
+  std::vector<float> preds(static_cast<size_t>(b), 0.0f);
+  int passes = 1 + max_variants;
+  int readouts_per_pass = config_.use_hybrid_inference ? 2 : 1;
+  float weight = 1.0f / static_cast<float>(passes * readouts_per_pass);
+  auto accumulate = [&](const Tensor& logits) {
+    for (int i = 0; i < b; ++i) {
+      float max_v = logits.At(i, 0);
+      for (int c = 1; c < classes; ++c) {
+        max_v = std::max(max_v, logits.At(i, c));
+      }
+      double sum = 0.0, weighted = 0.0;
+      for (int c = 0; c < classes; ++c) {
+        double e = std::exp(static_cast<double>(logits.At(i, c)) - max_v);
+        sum += e;
+        weighted += e * (c + 1);
+      }
+      preds[static_cast<size_t>(i)] +=
+          weight * static_cast<float>(weighted / sum);
+    }
+  };
+
+  // The user's own source-domain features (for hybrid inference) do not
+  // depend on the auxiliary-document ensemble pass.
+  OmniMatchModel::UserFeatures src;
+  if (config_.use_hybrid_inference) {
+    src = model_->ExtractUser(
+        DomainSide::kSource,
+        GatherDocs(user_source_docs_, users, config_.doc_len), b);
+  }
+
+  // Average expected ratings over the auxiliary-document ensemble. Pass 0
+  // uses the primary documents; later passes substitute each cold user's
+  // k-th variant (users without variants keep their primary document).
+  for (int pass = 0; pass < passes; ++pass) {
+    std::vector<int> flat;
+    flat.reserve(users.size() * static_cast<size_t>(config_.doc_len));
+    for (int u : users) {
+      const std::vector<int>* doc = nullptr;
+      if (pass > 0) {
+        auto it = cold_aux_doc_variants_.find(u);
+        if (it != cold_aux_doc_variants_.end() &&
+            pass - 1 < static_cast<int>(it->second.size())) {
+          doc = &it->second[static_cast<size_t>(pass - 1)];
+        }
+      }
+      if (doc == nullptr) {
+        auto it = user_target_docs_.find(u);
+        doc = it == user_target_docs_.end() ? nullptr : &it->second;
+      }
+      if (doc == nullptr) {
+        flat.insert(flat.end(), static_cast<size_t>(config_.doc_len),
+                    text::Vocabulary::kPadId);
+      } else {
+        flat.insert(flat.end(), doc->begin(), doc->end());
+      }
+    }
+    auto tgt = model_->ExtractUser(DomainSide::kTarget, flat, b);
+    accumulate(model_->RatingLogits(
+        OmniMatchModel::UserRepresentation(tgt), item_rep));
+    if (config_.use_hybrid_inference) {
+      Tensor hybrid = nn::ConcatCols({src.invariant, tgt.specific});
+      accumulate(model_->RatingLogits(hybrid, item_rep));
+    }
+  }
+  return preds;
+}
+
+eval::Metrics OmniMatchTrainer::Evaluate(const std::vector<int>& users) {
+  OM_CHECK(prepared_) << "call Prepare() first";
+  eval::MetricsAccumulator acc;
+  std::vector<TrainSample> batch;
+  std::vector<float> gold;
+  auto flush = [&]() {
+    if (batch.empty()) return;
+    std::vector<float> preds = PredictBatch(batch);
+    for (size_t i = 0; i < preds.size(); ++i) acc.Add(preds[i], gold[i]);
+    batch.clear();
+    gold.clear();
+  };
+  for (int u : users) {
+    for (int idx : cross_->target().RecordsOfUser(u)) {
+      const data::Review& r = cross_->target().reviews()[idx];
+      TrainSample s;
+      s.user = u;
+      s.item = r.item_id;
+      batch.push_back(s);
+      gold.push_back(r.rating);
+      if (static_cast<int>(batch.size()) >= config_.batch_size) flush();
+    }
+  }
+  flush();
+  return acc.Finalize();
+}
+
+Status OmniMatchTrainer::SaveWeights(const std::string& path) const {
+  OM_CHECK(prepared_) << "call Prepare() first";
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  std::vector<nn::Tensor> params = model_->Parameters();
+  uint64_t count = params.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const nn::Tensor& p : params) {
+    uint64_t n = static_cast<uint64_t>(p.numel());
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    out.write(reinterpret_cast<const char*>(p.data().data()),
+              static_cast<std::streamsize>(n * sizeof(float)));
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Status OmniMatchTrainer::LoadWeights(const std::string& path) {
+  OM_CHECK(prepared_) << "call Prepare() first";
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::vector<nn::Tensor> params = model_->Parameters();
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || count != params.size()) {
+    return Status::InvalidArgument(
+        StrFormat("%s holds %llu parameters, model has %zu", path.c_str(),
+                  static_cast<unsigned long long>(count), params.size()));
+  }
+  for (nn::Tensor& p : params) {
+    uint64_t n = 0;
+    in.read(reinterpret_cast<char*>(&n), sizeof(n));
+    if (!in || n != static_cast<uint64_t>(p.numel())) {
+      return Status::InvalidArgument(path + ": parameter shape mismatch");
+    }
+    in.read(reinterpret_cast<char*>(p.data().data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+    if (!in) return Status::IoError(path + ": truncated weight file");
+  }
+  return Status::OK();
+}
+
+void OmniMatchTrainer::UseOracleTargetDocs(const std::vector<int>& users) {
+  OM_CHECK(prepared_) << "call Prepare() first";
+  for (int u : users) {
+    std::vector<std::string> texts;
+    for (int idx : cross_->target().RecordsOfUser(u)) {
+      texts.push_back(TextOf(cross_->target().reviews()[idx]));
+    }
+    if (texts.empty()) continue;
+    user_target_docs_[u] =
+        text::BuildDocumentIds(texts, vocab_, config_.doc_len);
+  }
+}
+
+float OmniMatchTrainer::PredictRating(int user_id, int item_id) {
+  OM_CHECK(prepared_) << "call Prepare() first";
+  if (user_target_docs_.find(user_id) == user_target_docs_.end()) {
+    return cross_->target().GlobalMeanRating();
+  }
+  TrainSample s;
+  s.user = user_id;
+  s.item = item_id;
+  return PredictBatch({s})[0];
+}
+
+}  // namespace core
+}  // namespace omnimatch

@@ -1,0 +1,163 @@
+#ifndef OMNIMATCH_CORE_TRAINER_H_
+#define OMNIMATCH_CORE_TRAINER_H_
+
+#include <array>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/aux_review.h"
+#include "core/config.h"
+#include "core/model.h"
+#include "data/dataset.h"
+#include "data/splits.h"
+#include "eval/metrics.h"
+#include "nn/optimizer.h"
+#include "text/vocabulary.h"
+
+namespace omnimatch {
+namespace core {
+
+/// Per-epoch loss trace plus wall-clock, returned by Train(). The timing
+/// fields feed the Table 6 experiment.
+struct TrainStats {
+  std::vector<double> total_loss;
+  std::vector<double> rating_loss;
+  std::vector<double> scl_loss;
+  std::vector<double> domain_loss;
+  double train_seconds = 0.0;
+  int steps = 0;
+  /// Validation RMSE per epoch (empty when select_best_epoch is off) and
+  /// the epoch whose parameters were kept.
+  std::vector<double> validation_rmse;
+  int best_epoch = -1;
+};
+
+/// End-to-end OmniMatch training and cold-start evaluation for one
+/// cross-domain scenario (§5.2 protocol).
+///
+/// Responsibilities:
+///  * builds the vocabulary from training-visible text (all source reviews
+///    plus training users' target reviews);
+///  * builds fixed-length documents: per-user source documents, per-user
+///    target documents (real reviews for training users; Algorithm 1
+///    auxiliary documents for cold-start users), and per-item documents
+///    from training users' target reviews;
+///  * runs the §4.5 objective L = L_rating + α·L_SCL + β·L_domain with
+///    Adadelta;
+///  * evaluates RMSE/MAE on cold users' hidden target records (Eq. 22-23).
+class OmniMatchTrainer {
+ public:
+  /// `cross` must outlive the trainer.
+  OmniMatchTrainer(const OmniMatchConfig& config,
+                   const data::CrossDomainDataset* cross,
+                   data::ColdStartSplit split);
+
+  /// Builds vocabulary, documents and the model. Must be called before
+  /// Train()/Evaluate(). Returns InvalidArgument for bad configs or
+  /// FailedPrecondition for unusable splits.
+  Status Prepare();
+
+  /// Runs the configured number of epochs.
+  TrainStats Train();
+
+  /// RMSE/MAE over the target-domain records of `users` (they are treated
+  /// as cold-start: their target documents are the auxiliary documents).
+  eval::Metrics Evaluate(const std::vector<int>& users);
+
+  /// Expected rating (sum_k k * p(k)) for one user-item pair. Unknown users
+  /// or items fall back to the target domain's global mean rating.
+  float PredictRating(int user_id, int item_id);
+
+  /// Diagnostic: replaces the stored target documents of `users` with
+  /// documents built from their REAL target-domain reviews (which the model
+  /// never trained on). Evaluating cold users afterwards upper-bounds what
+  /// auxiliary documents could achieve — the gap between this oracle and the
+  /// normal evaluation isolates the Algorithm 1 contribution.
+  void UseOracleTargetDocs(const std::vector<int>& users);
+
+  /// Persists the trained weights (all model parameters, in Parameters()
+  /// order) to a binary file. The architecture itself is not stored: load
+  /// into a trainer Prepared with the same config and data.
+  Status SaveWeights(const std::string& path) const;
+
+  /// Restores weights saved by SaveWeights. Fails with InvalidArgument when
+  /// the parameter count or any shape differs.
+  Status LoadWeights(const std::string& path);
+
+  const text::Vocabulary& vocabulary() const { return vocab_; }
+  const AuxReviewGenerator* aux_generator() const {
+    return aux_generator_.get();
+  }
+  OmniMatchModel* model() { return model_.get(); }
+  const data::ColdStartSplit& split() const { return split_; }
+
+ private:
+  struct TrainSample {
+    int user = -1;
+    int item = -1;
+    int label = 0;  // rating - 1, in [0, num_rating_classes)
+  };
+
+  const std::string& TextOf(const data::Review& review) const;
+  void BuildVocabulary();
+  void BuildDocuments();
+  /// Runs one training batch; returns (total, rating, scl, domain) losses.
+  std::array<double, 4> TrainBatch(const std::vector<TrainSample>& batch);
+  /// Batched expected-rating predictions (eval mode).
+  std::vector<float> PredictBatch(const std::vector<TrainSample>& batch);
+  /// Flattened fixed-length documents for a batch (evaluation path).
+  std::vector<int> GatherDocs(
+      const std::unordered_map<int, std::vector<int>>& docs,
+      const std::vector<int>& keys, int doc_len) const;
+  /// Training path: re-assembles each document from its reviews in a fresh
+  /// random order with word dropout; falls back to the fixed documents when
+  /// augmentation is disabled.
+  std::vector<int> GatherTrainingDocs(
+      const std::unordered_map<int, std::vector<std::vector<int>>>& reviews,
+      const std::unordered_map<int, std::vector<int>>& fixed_docs,
+      const std::vector<int>& keys, int doc_len);
+  /// Appends one augmented document assembled from `reviews` (or pads).
+  void AppendTrainingDoc(const std::vector<std::vector<int>>* reviews,
+                         int doc_len, std::vector<int>* flat);
+  /// Target-side training documents with cold-start self-simulation.
+  std::vector<int> GatherTargetTrainingDocs(const std::vector<int>& users);
+
+  OmniMatchConfig config_;
+  const data::CrossDomainDataset* cross_;
+  data::ColdStartSplit split_;
+  Rng rng_;
+
+  text::Vocabulary vocab_;
+  std::unique_ptr<AuxReviewGenerator> aux_generator_;
+  std::unique_ptr<OmniMatchModel> model_;
+  std::unique_ptr<nn::Optimizer> optimizer_;
+
+  /// Fixed documents used at evaluation time (deterministic).
+  std::unordered_map<int, std::vector<int>> user_source_docs_;
+  std::unordered_map<int, std::vector<int>> user_target_docs_;
+  std::unordered_map<int, std::vector<int>> item_docs_;
+  /// Per-review encoded token lists, re-assembled per training batch when
+  /// shuffle_reviews_in_training is on.
+  std::unordered_map<int, std::vector<std::vector<int>>> user_source_reviews_;
+  std::unordered_map<int, std::vector<std::vector<int>>> user_target_reviews_;
+  std::unordered_map<int, std::vector<std::vector<int>>> item_reviews_;
+  /// Auxiliary documents for TRAIN users (cold-start self-simulation),
+  /// generated with the user excluded from the eligible like-minded pool.
+  std::unordered_map<int, std::vector<std::vector<int>>> train_aux_reviews_;
+  /// Extra independently sampled auxiliary documents per cold user
+  /// (aux_eval_samples - 1 of them; the first sample is user_target_docs_).
+  std::unordered_map<int, std::vector<std::vector<int>>> cold_aux_doc_variants_;
+  std::vector<TrainSample> train_samples_;
+  std::vector<int> empty_item_doc_;
+  bool prepared_ = false;
+};
+
+}  // namespace core
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_CORE_TRAINER_H_

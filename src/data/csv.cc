@@ -1,0 +1,75 @@
+#include "data/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace omnimatch {
+namespace data {
+
+namespace {
+std::string SanitizeText(std::string text) {
+  for (char& c : text) {
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  return text;
+}
+}  // namespace
+
+Status SaveDomainTsv(const DomainDataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "user_id\titem_id\trating\tsummary\tfull_text\n";
+  for (const Review& r : dataset.reviews()) {
+    out << r.user_id << '\t' << r.item_id << '\t' << r.rating << '\t'
+        << SanitizeText(r.summary) << '\t' << SanitizeText(r.full_text)
+        << '\n';
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<DomainDataset> LoadDomainTsv(const std::string& path,
+                                    const std::string& name) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  DomainDataset dataset(name);
+  std::string line;
+  bool first = true;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (first) {
+      first = false;
+      if (!StartsWith(line, "user_id\t")) {
+        return Status::InvalidArgument(path + ": missing TSV header");
+      }
+      continue;
+    }
+    if (StripWhitespace(line).empty()) continue;
+    std::vector<std::string> fields = Split(line, '\t');
+    if (fields.size() < 4) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%d: expected >=4 tab-separated fields, got %d",
+                    path.c_str(), line_no, static_cast<int>(fields.size())));
+    }
+    Review r;
+    r.user_id = std::atoi(fields[0].c_str());
+    r.item_id = std::atoi(fields[1].c_str());
+    r.rating = static_cast<float>(std::atof(fields[2].c_str()));
+    if (r.user_id < 0 || r.item_id < 0 || r.rating < 1.0f ||
+        r.rating > 5.0f) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%d: invalid ids or rating", path.c_str(), line_no));
+    }
+    r.summary = fields[3];
+    r.full_text = fields.size() >= 5 ? fields[4] : fields[3];
+    dataset.AddReview(std::move(r));
+  }
+  dataset.BuildIndices();
+  return dataset;
+}
+
+}  // namespace data
+}  // namespace omnimatch

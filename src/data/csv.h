@@ -1,0 +1,26 @@
+#ifndef OMNIMATCH_DATA_CSV_H_
+#define OMNIMATCH_DATA_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace omnimatch {
+namespace data {
+
+/// Saves a domain as tab-separated values with a header row:
+///   user_id \t item_id \t rating \t summary \t full_text
+/// Tabs and newlines inside text fields are replaced with spaces.
+Status SaveDomainTsv(const DomainDataset& dataset, const std::string& path);
+
+/// Loads a domain written by SaveDomainTsv (or hand-authored in the same
+/// format). Builds indices before returning. The dataset name is taken from
+/// `name`, not the file.
+Result<DomainDataset> LoadDomainTsv(const std::string& path,
+                                    const std::string& name);
+
+}  // namespace data
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_DATA_CSV_H_

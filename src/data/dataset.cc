@@ -1,0 +1,108 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace omnimatch {
+namespace data {
+
+namespace {
+long long ItemRatingKey(int item_id, float rating) {
+  int r = static_cast<int>(std::lround(rating));
+  OM_CHECK(r >= 0 && r <= 7) << "rating out of key range: " << rating;
+  return static_cast<long long>(item_id) * 8 + r;
+}
+}  // namespace
+
+const std::vector<int>& DomainDataset::EmptyVector() {
+  static const std::vector<int>* empty = new std::vector<int>();
+  return *empty;
+}
+
+void DomainDataset::AddReview(Review review) {
+  OM_CHECK_GE(review.user_id, 0);
+  OM_CHECK_GE(review.item_id, 0);
+  OM_CHECK(review.rating >= 1.0f && review.rating <= 5.0f)
+      << "rating " << review.rating;
+  reviews_.push_back(std::move(review));
+  indices_built_ = false;
+}
+
+void DomainDataset::BuildIndices() {
+  user_records_.clear();
+  item_records_.clear();
+  item_rating_users_.clear();
+  users_.clear();
+  items_.clear();
+  for (size_t i = 0; i < reviews_.size(); ++i) {
+    const Review& r = reviews_[i];
+    user_records_[r.user_id].push_back(static_cast<int>(i));
+    item_records_[r.item_id].push_back(static_cast<int>(i));
+    item_rating_users_[ItemRatingKey(r.item_id, r.rating)].push_back(
+        r.user_id);
+  }
+  users_.reserve(user_records_.size());
+  for (const auto& [uid, _] : user_records_) users_.push_back(uid);
+  std::sort(users_.begin(), users_.end());
+  items_.reserve(item_records_.size());
+  for (const auto& [iid, _] : item_records_) items_.push_back(iid);
+  std::sort(items_.begin(), items_.end());
+  indices_built_ = true;
+}
+
+const std::vector<int>& DomainDataset::RecordsOfUser(int user_id) const {
+  OM_CHECK(indices_built_) << "call BuildIndices() first";
+  auto it = user_records_.find(user_id);
+  return it == user_records_.end() ? EmptyVector() : it->second;
+}
+
+const std::vector<int>& DomainDataset::RecordsOfItem(int item_id) const {
+  OM_CHECK(indices_built_) << "call BuildIndices() first";
+  auto it = item_records_.find(item_id);
+  return it == item_records_.end() ? EmptyVector() : it->second;
+}
+
+const std::vector<int>& DomainDataset::UsersWhoRated(int item_id,
+                                                     float rating) const {
+  OM_CHECK(indices_built_) << "call BuildIndices() first";
+  auto it = item_rating_users_.find(ItemRatingKey(item_id, rating));
+  return it == item_rating_users_.end() ? EmptyVector() : it->second;
+}
+
+float DomainDataset::GlobalMeanRating() const {
+  if (reviews_.empty()) return 3.0f;
+  double sum = 0.0;
+  for (const Review& r : reviews_) sum += r.rating;
+  return static_cast<float>(sum / reviews_.size());
+}
+
+double DomainDataset::MeanReviewsPerUser() const {
+  OM_CHECK(indices_built_) << "call BuildIndices() first";
+  if (users_.empty()) return 0.0;
+  return static_cast<double>(reviews_.size()) /
+         static_cast<double>(users_.size());
+}
+
+CrossDomainDataset::CrossDomainDataset(DomainDataset source,
+                                       DomainDataset target)
+    : source_(std::move(source)), target_(std::move(target)) {
+  RecomputeOverlap();
+}
+
+void CrossDomainDataset::RecomputeOverlap() {
+  source_.BuildIndices();
+  target_.BuildIndices();
+  overlapping_users_.clear();
+  std::set_intersection(source_.users().begin(), source_.users().end(),
+                        target_.users().begin(), target_.users().end(),
+                        std::back_inserter(overlapping_users_));
+}
+
+std::string CrossDomainDataset::ScenarioName() const {
+  return source_.name() + " -> " + target_.name();
+}
+
+}  // namespace data
+}  // namespace omnimatch

@@ -1,0 +1,113 @@
+#ifndef OMNIMATCH_DATA_DATASET_H_
+#define OMNIMATCH_DATA_DATASET_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/types.h"
+
+namespace omnimatch {
+namespace data {
+
+/// All reviews of one domain plus the two lookup dictionaries the paper's
+/// Algorithm 1 preprocessing builds (§4.1):
+///   1. user_id -> [(item, rating, review)] — RecordsOfUser()
+///   2. (item_id, rating) -> [user_id]      — UsersWhoRated()
+/// Index construction is O(N·M) in the paper's notation; the lookups are
+/// then O(1) per call.
+class DomainDataset {
+ public:
+  DomainDataset() = default;
+  explicit DomainDataset(std::string name) : name_(std::move(name)) {}
+
+  /// Appends a review. Invalidates indices until BuildIndices() is called.
+  void AddReview(Review review);
+
+  /// (Re)builds the user/item/(item,rating) dictionaries.
+  void BuildIndices();
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::vector<Review>& reviews() const { return reviews_; }
+  size_t num_reviews() const { return reviews_.size(); }
+
+  /// Users and items present, sorted ascending.
+  const std::vector<int>& users() const { return users_; }
+  const std::vector<int>& items() const { return items_; }
+
+  bool HasUser(int user_id) const {
+    return user_records_.count(user_id) > 0;
+  }
+  bool HasItem(int item_id) const {
+    return item_records_.count(item_id) > 0;
+  }
+
+  /// Indices (into reviews()) of a user's records; empty if unknown user.
+  const std::vector<int>& RecordsOfUser(int user_id) const;
+
+  /// Indices (into reviews()) of an item's records; empty if unknown item.
+  const std::vector<int>& RecordsOfItem(int item_id) const;
+
+  /// The like-minded lookup: users who rated `item_id` exactly `rating`.
+  /// Empty if none.
+  const std::vector<int>& UsersWhoRated(int item_id, float rating) const;
+
+  /// Mean rating across all records (the mu fallback of rating baselines).
+  /// Returns 3.0 for an empty dataset.
+  float GlobalMeanRating() const;
+
+  /// Average number of reviews per user (the paper's M in §4.1).
+  double MeanReviewsPerUser() const;
+
+ private:
+  std::string name_;
+  std::vector<Review> reviews_;
+  bool indices_built_ = false;
+
+  std::vector<int> users_;
+  std::vector<int> items_;
+  std::unordered_map<int, std::vector<int>> user_records_;
+  std::unordered_map<int, std::vector<int>> item_records_;
+  /// key = item_id * 8 + rating-as-int (ratings are 1..5).
+  std::unordered_map<long long, std::vector<int>> item_rating_users_;
+
+  static const std::vector<int>& EmptyVector();
+};
+
+/// A (source, target) domain pair plus the overlap bookkeeping of §2:
+/// U^o = U^s ∩ U^t.
+class CrossDomainDataset {
+ public:
+  CrossDomainDataset() = default;
+  CrossDomainDataset(DomainDataset source, DomainDataset target);
+
+  const DomainDataset& source() const { return source_; }
+  const DomainDataset& target() const { return target_; }
+  DomainDataset& mutable_source() { return source_; }
+  DomainDataset& mutable_target() { return target_; }
+
+  /// Recomputes the overlap after datasets change.
+  void RecomputeOverlap();
+
+  /// Users with records in both domains, sorted.
+  const std::vector<int>& overlapping_users() const {
+    return overlapping_users_;
+  }
+
+  /// "<source> -> <target>", e.g. "Books -> Movies".
+  std::string ScenarioName() const;
+
+ private:
+  DomainDataset source_;
+  DomainDataset target_;
+  std::vector<int> overlapping_users_;
+};
+
+}  // namespace data
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_DATA_DATASET_H_

@@ -1,0 +1,63 @@
+#include "data/splits.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace omnimatch {
+namespace data {
+
+ColdStartSplit MakeColdStartSplit(const CrossDomainDataset& cross, Rng* rng,
+                                  double train_fraction) {
+  OM_CHECK(rng != nullptr);
+  OM_CHECK(train_fraction > 0.0 && train_fraction < 1.0)
+      << "train_fraction " << train_fraction;
+  std::vector<int> users = cross.overlapping_users();
+  OM_CHECK_GE(users.size(), 4u) << "too few overlapping users to split";
+  rng->Shuffle(users);
+
+  size_t n_train = static_cast<size_t>(users.size() * train_fraction);
+  n_train = std::min(std::max<size_t>(n_train, 1), users.size() - 2);
+
+  ColdStartSplit split;
+  split.train_users.assign(users.begin(), users.begin() + n_train);
+  size_t n_cold = users.size() - n_train;
+  size_t n_valid = n_cold / 2;
+  split.validation_users.assign(users.begin() + n_train,
+                                users.begin() + n_train + n_valid);
+  split.test_users.assign(users.begin() + n_train + n_valid, users.end());
+
+  std::sort(split.train_users.begin(), split.train_users.end());
+  std::sort(split.validation_users.begin(), split.validation_users.end());
+  std::sort(split.test_users.begin(), split.test_users.end());
+  return split;
+}
+
+ColdStartSplit SubsampleTrainUsers(const ColdStartSplit& split,
+                                   double fraction, Rng* rng) {
+  OM_CHECK(rng != nullptr);
+  OM_CHECK(fraction > 0.0 && fraction <= 1.0) << "fraction " << fraction;
+  ColdStartSplit out = split;
+  if (fraction >= 1.0) return out;
+  std::vector<int> users = split.train_users;
+  rng->Shuffle(users);
+  size_t keep = std::max<size_t>(
+      1, static_cast<size_t>(users.size() * fraction));
+  users.resize(keep);
+  std::sort(users.begin(), users.end());
+  out.train_users = std::move(users);
+  return out;
+}
+
+std::vector<int> TargetRecordsOfUsers(const CrossDomainDataset& cross,
+                                      const std::vector<int>& users) {
+  std::vector<int> records;
+  for (int u : users) {
+    const auto& recs = cross.target().RecordsOfUser(u);
+    records.insert(records.end(), recs.begin(), recs.end());
+  }
+  return records;
+}
+
+}  // namespace data
+}  // namespace omnimatch

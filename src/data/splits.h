@@ -1,0 +1,40 @@
+#ifndef OMNIMATCH_DATA_SPLITS_H_
+#define OMNIMATCH_DATA_SPLITS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace omnimatch {
+namespace data {
+
+/// The §5.2 evaluation split over overlapping users:
+/// 80% training users (their data in both domains is visible), 20% treated
+/// as cold-start — their *target-domain* records are hidden from training
+/// and used only for validation (half) and test (half).
+struct ColdStartSplit {
+  std::vector<int> train_users;
+  std::vector<int> validation_users;
+  std::vector<int> test_users;
+};
+
+/// Randomly partitions `cross.overlapping_users()` into the §5.2 split.
+/// `train_fraction` defaults to the paper's 0.8.
+ColdStartSplit MakeColdStartSplit(const CrossDomainDataset& cross, Rng* rng,
+                                  double train_fraction = 0.8);
+
+/// Keeps only `fraction` of the training users (the Table 4 "proportion of
+/// overlapping users" sweep); validation/test users are untouched.
+ColdStartSplit SubsampleTrainUsers(const ColdStartSplit& split,
+                                   double fraction, Rng* rng);
+
+/// Target-domain record indices of the given users (the cold-start test
+/// set O_test of Eq. 22-23 when called with split.test_users).
+std::vector<int> TargetRecordsOfUsers(const CrossDomainDataset& cross,
+                                      const std::vector<int>& users);
+
+}  // namespace data
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_DATA_SPLITS_H_

@@ -1,0 +1,29 @@
+#ifndef OMNIMATCH_DATA_TYPES_H_
+#define OMNIMATCH_DATA_TYPES_H_
+
+#include <string>
+
+namespace omnimatch {
+namespace data {
+
+/// One purchase record: the paper's {u, i, txt, r} tuple (§2).
+///
+/// `summary` is the "review summary" field the paper trains on (§5.2);
+/// `full_text` is the longer "reviewText" field used by the
+/// OmniMatch-ReviewText ablation (Table 5).
+struct Review {
+  int user_id = -1;
+  int item_id = -1;
+  /// Integer star rating in [1, 5], stored as float for metric math.
+  float rating = 0.0f;
+  std::string summary;
+  std::string full_text;
+};
+
+/// Identifies which side of a cross-domain pair a sample came from.
+enum class DomainSide { kSource = 0, kTarget = 1 };
+
+}  // namespace data
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_DATA_TYPES_H_

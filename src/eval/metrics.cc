@@ -1,0 +1,38 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace omnimatch {
+namespace eval {
+
+Metrics ComputeMetrics(const std::vector<float>& predictions,
+                       const std::vector<float>& gold) {
+  OM_CHECK_EQ(predictions.size(), gold.size());
+  OM_CHECK(!predictions.empty());
+  MetricsAccumulator acc;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    acc.Add(predictions[i], gold[i]);
+  }
+  return acc.Finalize();
+}
+
+void MetricsAccumulator::Add(float prediction, float gold) {
+  double d = static_cast<double>(prediction) - gold;
+  sum_sq_ += d * d;
+  sum_abs_ += std::abs(d);
+  ++count_;
+}
+
+Metrics MetricsAccumulator::Finalize() const {
+  OM_CHECK_GT(count_, 0) << "no samples accumulated";
+  Metrics m;
+  m.count = count_;
+  m.rmse = std::sqrt(sum_sq_ / count_);
+  m.mae = sum_abs_ / count_;
+  return m;
+}
+
+}  // namespace eval
+}  // namespace omnimatch

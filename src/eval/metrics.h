@@ -1,0 +1,37 @@
+#ifndef OMNIMATCH_EVAL_METRICS_H_
+#define OMNIMATCH_EVAL_METRICS_H_
+
+#include <vector>
+
+namespace omnimatch {
+namespace eval {
+
+/// RMSE and MAE over a prediction set (Eq. 22-23).
+struct Metrics {
+  double rmse = 0.0;
+  double mae = 0.0;
+  int count = 0;
+};
+
+/// Computes RMSE/MAE between parallel prediction and gold vectors.
+/// OM_CHECKs that the vectors are the same (non-zero) length.
+Metrics ComputeMetrics(const std::vector<float>& predictions,
+                       const std::vector<float>& gold);
+
+/// Streaming accumulator for the same metrics.
+class MetricsAccumulator {
+ public:
+  void Add(float prediction, float gold);
+  Metrics Finalize() const;
+  int count() const { return count_; }
+
+ private:
+  double sum_sq_ = 0.0;
+  double sum_abs_ = 0.0;
+  int count_ = 0;
+};
+
+}  // namespace eval
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_EVAL_METRICS_H_

@@ -1,0 +1,59 @@
+#ifndef OMNIMATCH_EVAL_RUNNER_H_
+#define OMNIMATCH_EVAL_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/recommender.h"
+#include "core/config.h"
+#include "data/splits.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+
+namespace omnimatch {
+namespace eval {
+
+/// One method's averaged cold-start test metrics for a scenario.
+struct MethodResult {
+  std::string name;
+  Metrics test;
+  double train_seconds = 0.0;
+};
+
+/// Everything the table benchmarks need to run one scenario.
+struct RunnerOptions {
+  /// Methods to run, using the paper's names: NGCF, LIGHTGCN, CMF, EMCDR,
+  /// PTUPCDR, HeroGraph, OmniMatch. Order is preserved in the output.
+  std::vector<std::string> methods = {"NGCF",    "LIGHTGCN",  "CMF",
+                                      "EMCDR",   "PTUPCDR",   "HeroGraph",
+                                      "OmniMatch"};
+  /// Random (re-split + retrain) trials to average; the paper uses 5.
+  int trials = 1;
+  uint64_t seed = 99;
+  double train_fraction = 0.8;
+  /// Fraction of training users kept after the split (Table 4 sweep).
+  double train_user_fraction = 1.0;
+  core::OmniMatchConfig omnimatch;
+};
+
+/// Per-scenario results for every requested method.
+struct ScenarioResult {
+  std::string scenario;
+  std::vector<MethodResult> methods;
+};
+
+/// Runs every requested method on the (source -> target) scenario of
+/// `world`, averaging metrics over `options.trials` random splits.
+/// OM_CHECKs on unknown method names.
+ScenarioResult RunScenario(const data::SyntheticWorld& world,
+                           const std::string& source,
+                           const std::string& target,
+                           const RunnerOptions& options);
+
+/// The paper's six evaluation scenarios over Books/Movies/Music (§5.1).
+std::vector<std::pair<std::string, std::string>> PaperScenarios();
+
+}  // namespace eval
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_EVAL_RUNNER_H_

@@ -1,0 +1,57 @@
+#include "eval/table.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace omnimatch {
+namespace eval {
+
+void AsciiTable::SetHeader(std::vector<std::string> header) {
+  OM_CHECK(!header.empty());
+  header_ = std::move(header);
+}
+
+void AsciiTable::AddRow(std::vector<std::string> row) {
+  OM_CHECK(!header_.empty()) << "SetHeader first";
+  OM_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::Render() const {
+  OM_CHECK(!header_.empty());
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c];
+      line.append(widths[c] - row[c].size() + 1, ' ');
+      line += "|";
+    }
+    return line + "\n";
+  };
+  std::string sep = "+";
+  for (size_t w : widths) {
+    sep.append(w + 2, '-');
+    sep += "+";
+  }
+  sep += "\n";
+  std::string out = sep + render_row(header_) + sep;
+  for (const auto& row : rows_) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+std::string FormatMetric(double value) { return StrFormat("%.3f", value); }
+
+std::string StrFormatDelta(double percent) {
+  return StrFormat("%+.1f%%", percent);
+}
+
+}  // namespace eval
+}  // namespace omnimatch

@@ -1,0 +1,37 @@
+#ifndef OMNIMATCH_EVAL_TABLE_H_
+#define OMNIMATCH_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace omnimatch {
+namespace eval {
+
+/// Minimal ASCII table used by the benchmark binaries to print results in
+/// the layout of the paper's tables.
+class AsciiTable {
+ public:
+  /// Sets the header row; defines the column count.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Adds a body row; must match the header's column count.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with column alignment and a header separator.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a metric to the paper's 3-decimal convention, e.g. "1.031".
+std::string FormatMetric(double value);
+
+/// Formats a signed percentage, e.g. "+5.7%" / "-1.2%".
+std::string StrFormatDelta(double percent);
+
+}  // namespace eval
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_EVAL_TABLE_H_

@@ -1,0 +1,57 @@
+#include "graph/bipartite.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+
+namespace omnimatch {
+namespace graph {
+
+InteractionGraph::InteractionGraph(
+    int num_users, int num_items,
+    const std::vector<std::pair<int, int>>& edges)
+    : num_users_(num_users), num_items_(num_items) {
+  OM_CHECK_GT(num_users, 0);
+  OM_CHECK_GT(num_items, 0);
+  int n = num_nodes();
+
+  // Coalesce duplicates; store both directions (symmetric graph).
+  std::vector<std::set<int>> neighbors(static_cast<size_t>(n));
+  for (const auto& [u, i] : edges) {
+    OM_CHECK(u >= 0 && u < num_users) << "user node " << u;
+    OM_CHECK(i >= 0 && i < num_items) << "item node " << i;
+    int item_node = num_users + i;
+    neighbors[static_cast<size_t>(u)].insert(item_node);
+    neighbors[static_cast<size_t>(item_node)].insert(u);
+  }
+
+  adj_.rows = n;
+  adj_.cols = n;
+  adj_.row_ptr.assign(static_cast<size_t>(n) + 1, 0);
+  for (int v = 0; v < n; ++v) {
+    adj_.row_ptr[static_cast<size_t>(v) + 1] =
+        adj_.row_ptr[static_cast<size_t>(v)] +
+        static_cast<int>(neighbors[static_cast<size_t>(v)].size());
+  }
+  adj_.col_idx.reserve(static_cast<size_t>(adj_.row_ptr.back()));
+  adj_.values.reserve(static_cast<size_t>(adj_.row_ptr.back()));
+  for (int v = 0; v < n; ++v) {
+    float dv = static_cast<float>(neighbors[static_cast<size_t>(v)].size());
+    for (int w : neighbors[static_cast<size_t>(v)]) {
+      float dw = static_cast<float>(neighbors[static_cast<size_t>(w)].size());
+      adj_.col_idx.push_back(w);
+      adj_.values.push_back(1.0f / std::sqrt(std::max(dv * dw, 1.0f)));
+    }
+  }
+}
+
+int InteractionGraph::Degree(int node) const {
+  OM_CHECK(node >= 0 && node < num_nodes()) << "node " << node;
+  return adj_.row_ptr[static_cast<size_t>(node) + 1] -
+         adj_.row_ptr[static_cast<size_t>(node)];
+}
+
+}  // namespace graph
+}  // namespace omnimatch

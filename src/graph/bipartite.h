@@ -1,0 +1,56 @@
+#ifndef OMNIMATCH_GRAPH_BIPARTITE_H_
+#define OMNIMATCH_GRAPH_BIPARTITE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace omnimatch {
+namespace graph {
+
+/// Compressed sparse row matrix over float, used as the (symmetric,
+/// degree-normalized) adjacency of user-item interaction graphs.
+struct Csr {
+  int rows = 0;
+  int cols = 0;
+  std::vector<int> row_ptr;   // size rows + 1
+  std::vector<int> col_idx;   // size nnz
+  std::vector<float> values;  // size nnz
+
+  size_t nnz() const { return col_idx.size(); }
+};
+
+/// A user-item interaction graph with dense 0-based node ids.
+///
+/// Node layout: users occupy [0, num_users), items occupy
+/// [num_users, num_users + num_items). The symmetric normalized adjacency
+/// Â = D^{-1/2} A D^{-1/2} (LightGCN/NGCF propagation operator) is built
+/// over the combined node set.
+class InteractionGraph {
+ public:
+  /// Builds from (user, item) interaction pairs using externally supplied
+  /// dense id maps. Duplicate edges are coalesced.
+  InteractionGraph(int num_users, int num_items,
+                   const std::vector<std::pair<int, int>>& edges);
+
+  int num_users() const { return num_users_; }
+  int num_items() const { return num_items_; }
+  int num_nodes() const { return num_users_ + num_items_; }
+
+  /// The symmetric normalized adjacency over all nodes.
+  const Csr& normalized_adjacency() const { return adj_; }
+
+  /// Degree (distinct neighbors) of a node.
+  int Degree(int node) const;
+
+ private:
+  int num_users_;
+  int num_items_;
+  Csr adj_;
+};
+
+}  // namespace graph
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_GRAPH_BIPARTITE_H_

@@ -1,0 +1,74 @@
+#include "graph/propagate.h"
+
+#include "common/check.h"
+
+namespace omnimatch {
+namespace graph {
+
+void SpMv(const Csr& adj, const float* x, int width, float* y) {
+  for (int r = 0; r < adj.rows; ++r) {
+    float* yrow = y + static_cast<size_t>(r) * width;
+    for (int e = adj.row_ptr[static_cast<size_t>(r)];
+         e < adj.row_ptr[static_cast<size_t>(r) + 1]; ++e) {
+      float v = adj.values[static_cast<size_t>(e)];
+      const float* xrow =
+          x + static_cast<size_t>(adj.col_idx[static_cast<size_t>(e)]) * width;
+      for (int d = 0; d < width; ++d) yrow[d] += v * xrow[d];
+    }
+  }
+}
+
+Csr Transpose(const Csr& adj) {
+  Csr t;
+  t.rows = adj.cols;
+  t.cols = adj.rows;
+  t.row_ptr.assign(static_cast<size_t>(t.rows) + 1, 0);
+  for (int c : adj.col_idx) ++t.row_ptr[static_cast<size_t>(c) + 1];
+  for (int r = 0; r < t.rows; ++r) {
+    t.row_ptr[static_cast<size_t>(r) + 1] +=
+        t.row_ptr[static_cast<size_t>(r)];
+  }
+  t.col_idx.resize(adj.nnz());
+  t.values.resize(adj.nnz());
+  std::vector<int> cursor(t.row_ptr.begin(), t.row_ptr.end() - 1);
+  for (int r = 0; r < adj.rows; ++r) {
+    for (int e = adj.row_ptr[static_cast<size_t>(r)];
+         e < adj.row_ptr[static_cast<size_t>(r) + 1]; ++e) {
+      int c = adj.col_idx[static_cast<size_t>(e)];
+      int slot = cursor[static_cast<size_t>(c)]++;
+      t.col_idx[static_cast<size_t>(slot)] = r;
+      t.values[static_cast<size_t>(slot)] =
+          adj.values[static_cast<size_t>(e)];
+    }
+  }
+  return t;
+}
+
+nn::Tensor SparseMatMul(std::shared_ptr<const Csr> adj, const nn::Tensor& x) {
+  OM_CHECK(adj != nullptr);
+  OM_CHECK_EQ(x.ndim(), 2);
+  OM_CHECK_EQ(x.dim(0), adj->cols) << "SparseMatMul dims";
+  int width = x.dim(1);
+
+  auto out = std::make_shared<nn::TensorImpl>();
+  out->shape = {adj->rows, width};
+  out->data.assign(static_cast<size_t>(adj->rows) * width, 0.0f);
+  out->requires_grad = x.requires_grad();
+  SpMv(*adj, x.data().data(), width, out->data.data());
+
+  if (out->requires_grad) {
+    out->parents = {x.impl()};
+    auto xi = x.impl();
+    nn::TensorImpl* o = out.get();
+    auto adj_t = std::make_shared<Csr>(Transpose(*adj));
+    out->backward_fn = [xi, o, adj_t, width]() {
+      o->EnsureGrad();
+      xi->EnsureGrad();
+      SpMv(*adj_t, o->grad.data(), width, xi->grad.data());
+    };
+  }
+  return nn::Tensor(std::move(out));
+}
+
+}  // namespace graph
+}  // namespace omnimatch

@@ -1,0 +1,32 @@
+#ifndef OMNIMATCH_GRAPH_PROPAGATE_H_
+#define OMNIMATCH_GRAPH_PROPAGATE_H_
+
+#include <memory>
+
+#include "graph/bipartite.h"
+#include "nn/tensor.h"
+
+namespace omnimatch {
+namespace graph {
+
+/// Differentiable sparse-dense product: out = adj * x, with x [N, D].
+///
+/// The backward pass uses the transpose; for the symmetric normalized
+/// adjacencies produced by InteractionGraph, adj^T == adj, but the
+/// implementation handles general CSR by building the transpose once and
+/// caching it inside the returned node.
+///
+/// This is the propagation kernel of the NGCF / LightGCN / HeroGraph
+/// baselines; one call is one embedding-propagation layer.
+nn::Tensor SparseMatMul(std::shared_ptr<const Csr> adj, const nn::Tensor& x);
+
+/// Non-autograd helper: y = adj * x over raw row-major buffers.
+void SpMv(const Csr& adj, const float* x, int width, float* y);
+
+/// Builds the transpose of a CSR matrix.
+Csr Transpose(const Csr& adj);
+
+}  // namespace graph
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_GRAPH_PROPAGATE_H_

@@ -1,0 +1,39 @@
+#include "nn/grad_check.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace omnimatch {
+namespace nn {
+
+double MaxGradError(const std::function<Tensor()>& forward, Tensor input,
+                    double eps) {
+  OM_CHECK(input.defined());
+  OM_CHECK(input.requires_grad());
+
+  // Analytic gradient.
+  input.ZeroGrad();
+  Tensor loss = forward();
+  loss.Backward();
+  std::vector<float> analytic = input.grad();
+
+  // Central finite differences, element by element.
+  double max_err = 0.0;
+  auto& data = input.data();
+  for (size_t i = 0; i < data.size(); ++i) {
+    float saved = data[i];
+    data[i] = saved + static_cast<float>(eps);
+    double f_plus = forward().ScalarValue();
+    data[i] = saved - static_cast<float>(eps);
+    double f_minus = forward().ScalarValue();
+    data[i] = saved;
+    double numeric = (f_plus - f_minus) / (2.0 * eps);
+    max_err = std::max(max_err, std::abs(numeric - analytic[i]));
+  }
+  return max_err;
+}
+
+}  // namespace nn
+}  // namespace omnimatch

@@ -1,0 +1,24 @@
+#ifndef OMNIMATCH_NN_GRAD_CHECK_H_
+#define OMNIMATCH_NN_GRAD_CHECK_H_
+
+#include <functional>
+
+#include "nn/tensor.h"
+
+namespace omnimatch {
+namespace nn {
+
+/// Finite-difference gradient checking used by the test suite to validate
+/// every op's analytic backward pass.
+///
+/// `forward` must rebuild the graph from the *current contents* of `input`
+/// (it is called repeatedly with perturbed values) and return a scalar.
+/// Returns the maximum absolute difference between the analytic gradient
+/// of `input` and the central finite difference.
+double MaxGradError(const std::function<Tensor()>& forward, Tensor input,
+                    double eps = 1e-3);
+
+}  // namespace nn
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_NN_GRAD_CHECK_H_

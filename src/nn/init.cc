@@ -1,0 +1,31 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace omnimatch {
+namespace nn {
+
+void XavierUniform(Tensor* t, int fan_in, int fan_out, Rng* rng) {
+  OM_CHECK(t != nullptr && t->defined());
+  OM_CHECK(rng != nullptr);
+  float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (float& v : t->data()) v = rng->UniformFloat(-limit, limit);
+}
+
+void NormalInit(Tensor* t, float mean, float stddev, Rng* rng) {
+  OM_CHECK(t != nullptr && t->defined());
+  OM_CHECK(rng != nullptr);
+  for (float& v : t->data()) {
+    v = static_cast<float>(rng->Normal(mean, stddev));
+  }
+}
+
+void ConstantInit(Tensor* t, float value) {
+  OM_CHECK(t != nullptr && t->defined());
+  for (float& v : t->data()) v = value;
+}
+
+}  // namespace nn
+}  // namespace omnimatch

@@ -1,0 +1,23 @@
+#ifndef OMNIMATCH_NN_INIT_H_
+#define OMNIMATCH_NN_INIT_H_
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace omnimatch {
+namespace nn {
+
+/// Fills `t` uniformly in [-limit, limit] with limit = sqrt(6/(fan_in+fan_out))
+/// (Glorot/Xavier uniform). Used for all dense and convolutional weights.
+void XavierUniform(Tensor* t, int fan_in, int fan_out, Rng* rng);
+
+/// Fills `t` with N(mean, stddev) draws. Used for embedding tables.
+void NormalInit(Tensor* t, float mean, float stddev, Rng* rng);
+
+/// Fills `t` with a constant (biases).
+void ConstantInit(Tensor* t, float value);
+
+}  // namespace nn
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_NN_INIT_H_

@@ -1,0 +1,252 @@
+#include "nn/losses.h"
+
+#include <cmath>
+#include <memory>
+
+#include "common/check.h"
+
+namespace omnimatch {
+namespace nn {
+
+Tensor SoftmaxCrossEntropy(const Tensor& logits,
+                           const std::vector<int>& labels) {
+  OM_CHECK_EQ(logits.ndim(), 2);
+  int batch = logits.dim(0);
+  int classes = logits.dim(1);
+  OM_CHECK_EQ(static_cast<size_t>(batch), labels.size());
+  for (int y : labels) OM_CHECK(y >= 0 && y < classes) << "label " << y;
+
+  auto out = std::make_shared<TensorImpl>();
+  out->shape = {1};
+  out->data = {0.0f};
+  out->requires_grad = logits.requires_grad();
+
+  // Probabilities are stored for the backward pass.
+  auto probs = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(batch) * classes);
+  const float* x = logits.data().data();
+  double total = 0.0;
+  for (int b = 0; b < batch; ++b) {
+    const float* row = x + static_cast<size_t>(b) * classes;
+    float* prow = probs->data() + static_cast<size_t>(b) * classes;
+    float max_v = row[0];
+    for (int c = 1; c < classes; ++c) max_v = std::max(max_v, row[c]);
+    float sum = 0.0f;
+    for (int c = 0; c < classes; ++c) {
+      prow[c] = std::exp(row[c] - max_v);
+      sum += prow[c];
+    }
+    float inv = 1.0f / sum;
+    for (int c = 0; c < classes; ++c) prow[c] *= inv;
+    total += -std::log(std::max(prow[labels[b]], 1e-12f));
+  }
+  out->data[0] = static_cast<float>(total / batch);
+
+  if (out->requires_grad) {
+    out->parents = {logits.impl()};
+    auto li = logits.impl();
+    TensorImpl* o = out.get();
+    auto labels_copy = std::make_shared<std::vector<int>>(labels);
+    out->backward_fn = [li, o, probs, labels_copy, batch, classes]() {
+      o->EnsureGrad();
+      li->EnsureGrad();
+      float g = o->grad[0] / static_cast<float>(batch);
+      for (int b = 0; b < batch; ++b) {
+        const float* prow = probs->data() + static_cast<size_t>(b) * classes;
+        float* drow = li->grad.data() + static_cast<size_t>(b) * classes;
+        int y = (*labels_copy)[b];
+        for (int c = 0; c < classes; ++c) {
+          drow[c] += g * (prow[c] - (c == y ? 1.0f : 0.0f));
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor MseLoss(const Tensor& pred, const std::vector<float>& target) {
+  OM_CHECK_EQ(static_cast<size_t>(pred.numel()), target.size());
+  int n = static_cast<int>(target.size());
+
+  auto out = std::make_shared<TensorImpl>();
+  out->shape = {1};
+  out->data = {0.0f};
+  out->requires_grad = pred.requires_grad();
+
+  const float* p = pred.data().data();
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double d = static_cast<double>(p[i]) - target[i];
+    total += d * d;
+  }
+  out->data[0] = static_cast<float>(total / n);
+
+  if (out->requires_grad) {
+    out->parents = {pred.impl()};
+    auto pi = pred.impl();
+    TensorImpl* o = out.get();
+    auto target_copy = std::make_shared<std::vector<float>>(target);
+    out->backward_fn = [pi, o, target_copy, n]() {
+      o->EnsureGrad();
+      pi->EnsureGrad();
+      float g = o->grad[0] * 2.0f / static_cast<float>(n);
+      for (int i = 0; i < n; ++i) {
+        pi->grad[i] += g * (pi->data[i] - (*target_copy)[i]);
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor SupConLoss(const Tensor& features, const std::vector<int>& labels,
+                  float temperature) {
+  OM_CHECK_EQ(features.ndim(), 2);
+  int batch = features.dim(0);
+  int dim = features.dim(1);
+  OM_CHECK_EQ(static_cast<size_t>(batch), labels.size());
+  OM_CHECK_GT(temperature, 0.0f);
+
+  // --- Forward ---
+  // 1. L2-normalize rows.
+  auto norm_feats = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(batch) * dim);
+  auto norms = std::make_shared<std::vector<float>>(batch);
+  const float* z = features.data().data();
+  for (int i = 0; i < batch; ++i) {
+    const float* row = z + static_cast<size_t>(i) * dim;
+    double sq = 0.0;
+    for (int d = 0; d < dim; ++d) sq += static_cast<double>(row[d]) * row[d];
+    float norm = static_cast<float>(std::sqrt(sq)) + 1e-8f;
+    (*norms)[i] = norm;
+    float* nrow = norm_feats->data() + static_cast<size_t>(i) * dim;
+    for (int d = 0; d < dim; ++d) nrow[d] = row[d] / norm;
+  }
+
+  // 2. Similarities s_ij = <ẑ_i, ẑ_j> / τ and softmax denominators over
+  //    A(i) = all j != i. Shifted by the row max for stability.
+  const float inv_tau = 1.0f / temperature;
+  std::vector<float> sims(static_cast<size_t>(batch) * batch, 0.0f);
+  for (int i = 0; i < batch; ++i) {
+    const float* zi = norm_feats->data() + static_cast<size_t>(i) * dim;
+    for (int j = 0; j < batch; ++j) {
+      if (j == i) continue;
+      const float* zj = norm_feats->data() + static_cast<size_t>(j) * dim;
+      float dot = 0.0f;
+      for (int d = 0; d < dim; ++d) dot += zi[d] * zj[d];
+      sims[static_cast<size_t>(i) * batch + j] = dot * inv_tau;
+    }
+  }
+
+  // p_ij = exp(s_ij) / sum_{a != i} exp(s_ia); stored for backward.
+  auto probs = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(batch) * batch, 0.0f);
+  std::vector<float> lse(batch, 0.0f);
+  for (int i = 0; i < batch; ++i) {
+    float max_v = -1e30f;
+    for (int j = 0; j < batch; ++j) {
+      if (j != i) {
+        max_v = std::max(max_v, sims[static_cast<size_t>(i) * batch + j]);
+      }
+    }
+    double sum = 0.0;
+    for (int j = 0; j < batch; ++j) {
+      if (j == i) continue;
+      double e = std::exp(sims[static_cast<size_t>(i) * batch + j] - max_v);
+      (*probs)[static_cast<size_t>(i) * batch + j] = static_cast<float>(e);
+      sum += e;
+    }
+    lse[i] = max_v + static_cast<float>(std::log(sum));
+    float inv = static_cast<float>(1.0 / sum);
+    for (int j = 0; j < batch; ++j) {
+      (*probs)[static_cast<size_t>(i) * batch + j] *= inv;
+    }
+  }
+
+  // 3. Per-anchor loss over P(i) = {p != i : label_p == label_i}.
+  auto pos_count = std::make_shared<std::vector<int>>(batch, 0);
+  int valid_anchors = 0;
+  double total = 0.0;
+  for (int i = 0; i < batch; ++i) {
+    int cnt = 0;
+    double pos_sum = 0.0;
+    for (int j = 0; j < batch; ++j) {
+      if (j != i && labels[j] == labels[i]) {
+        ++cnt;
+        pos_sum += sims[static_cast<size_t>(i) * batch + j];
+      }
+    }
+    (*pos_count)[i] = cnt;
+    if (cnt > 0) {
+      ++valid_anchors;
+      total += -(pos_sum / cnt - lse[i]);
+    }
+  }
+
+  if (valid_anchors == 0) {
+    // No positive pairs in the batch; constant zero, no gradient.
+    return Tensor::Scalar(0.0f);
+  }
+
+  auto out = std::make_shared<TensorImpl>();
+  out->shape = {1};
+  out->data = {static_cast<float>(total / valid_anchors)};
+  out->requires_grad = features.requires_grad();
+
+  if (out->requires_grad) {
+    out->parents = {features.impl()};
+    auto fi = features.impl();
+    TensorImpl* o = out.get();
+    auto labels_copy = std::make_shared<std::vector<int>>(labels);
+    out->backward_fn = [fi, o, norm_feats, norms, probs, pos_count,
+                        labels_copy, batch, dim, inv_tau, valid_anchors]() {
+      o->EnsureGrad();
+      fi->EnsureGrad();
+      float gscale = o->grad[0] / static_cast<float>(valid_anchors);
+      // g_ij = dL/ds_ij for anchor i (0 on the diagonal and for anchors
+      // without positives).
+      std::vector<float> gmat(static_cast<size_t>(batch) * batch, 0.0f);
+      for (int i = 0; i < batch; ++i) {
+        int cnt = (*pos_count)[i];
+        if (cnt == 0) continue;
+        float inv_cnt = 1.0f / static_cast<float>(cnt);
+        for (int j = 0; j < batch; ++j) {
+          if (j == i) continue;
+          float g = (*probs)[static_cast<size_t>(i) * batch + j];
+          if ((*labels_copy)[j] == (*labels_copy)[i]) g -= inv_cnt;
+          gmat[static_cast<size_t>(i) * batch + j] = g * gscale;
+        }
+      }
+      // dL/dẑ_k = (1/τ) * sum_j (g_kj + g_jk) ẑ_j.
+      std::vector<float> dnorm(static_cast<size_t>(batch) * dim, 0.0f);
+      for (int k = 0; k < batch; ++k) {
+        float* dk = dnorm.data() + static_cast<size_t>(k) * dim;
+        for (int j = 0; j < batch; ++j) {
+          if (j == k) continue;
+          float coef = (gmat[static_cast<size_t>(k) * batch + j] +
+                        gmat[static_cast<size_t>(j) * batch + k]) *
+                       inv_tau;
+          if (coef == 0.0f) continue;
+          const float* zj = norm_feats->data() + static_cast<size_t>(j) * dim;
+          for (int d = 0; d < dim; ++d) dk[d] += coef * zj[d];
+        }
+      }
+      // Chain through the normalization ẑ = z/||z||:
+      // dz = (dẑ - (dẑ·ẑ) ẑ) / ||z||.
+      for (int k = 0; k < batch; ++k) {
+        const float* zk = norm_feats->data() + static_cast<size_t>(k) * dim;
+        const float* dk = dnorm.data() + static_cast<size_t>(k) * dim;
+        float* dst = fi->grad.data() + static_cast<size_t>(k) * dim;
+        float dot = 0.0f;
+        for (int d = 0; d < dim; ++d) dot += dk[d] * zk[d];
+        float inv_norm = 1.0f / (*norms)[k];
+        for (int d = 0; d < dim; ++d) {
+          dst[d] += (dk[d] - dot * zk[d]) * inv_norm;
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+}  // namespace nn
+}  // namespace omnimatch

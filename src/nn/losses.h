@@ -1,0 +1,39 @@
+#ifndef OMNIMATCH_NN_LOSSES_H_
+#define OMNIMATCH_NN_LOSSES_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace omnimatch {
+namespace nn {
+
+/// Mean softmax cross-entropy over a batch.
+///
+/// `logits` is [B, C]; `labels[i]` in [0, C). Numerically fused with
+/// log-softmax. Used for the rating classifier (Eq. 18-19) and the domain
+/// classifier (Eq. 14-17).
+Tensor SoftmaxCrossEntropy(const Tensor& logits,
+                           const std::vector<int>& labels);
+
+/// Mean squared error between `pred` (B elements, any shape) and `target`.
+Tensor MseLoss(const Tensor& pred, const std::vector<float>& target);
+
+/// Supervised contrastive loss (Khosla et al. 2020), Eq. 13 of the paper.
+///
+/// `features` is [B, D] (the projected user-item pair vectors X̃); positives
+/// for anchor i are the other samples with the same `labels[i]` (the rating).
+/// Rows are L2-normalized internally before the dot products, matching the
+/// reference SupCon implementation. Anchors with no positive in the batch are
+/// skipped; if no anchor has a positive the loss is a constant 0 (no
+/// gradient).
+///
+/// Implemented as a single fused node with an analytic gradient
+/// (validated against finite differences in tests/nn/losses_test.cc).
+Tensor SupConLoss(const Tensor& features, const std::vector<int>& labels,
+                  float temperature);
+
+}  // namespace nn
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_NN_LOSSES_H_

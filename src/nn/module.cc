@@ -1,0 +1,17 @@
+#include "nn/module.h"
+
+namespace omnimatch {
+namespace nn {
+
+std::vector<Tensor> CollectParameters(
+    const std::vector<const Module*>& modules) {
+  std::vector<Tensor> out;
+  for (const Module* m : modules) {
+    if (m == nullptr) continue;
+    for (const Tensor& p : m->Parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace nn
+}  // namespace omnimatch

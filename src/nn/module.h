@@ -1,0 +1,57 @@
+#ifndef OMNIMATCH_NN_MODULE_H_
+#define OMNIMATCH_NN_MODULE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace omnimatch {
+namespace nn {
+
+/// Base class for anything that owns trainable parameters.
+///
+/// Parameters are persistent `Tensor`s with `requires_grad == true`;
+/// optimizers iterate the flat list returned by `Parameters()`. Modules are
+/// neither copyable nor movable (parameter identity matters to optimizers
+/// holding per-parameter state).
+class Module {
+ public:
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  virtual ~Module() = default;
+
+  /// Flat list of trainable parameters (including submodules').
+  virtual std::vector<Tensor> Parameters() const = 0;
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrad() {
+    for (Tensor& p : ParametersMutable()) p.ZeroGrad();
+  }
+
+  /// Total trainable scalar count.
+  int64_t NumParameters() const {
+    int64_t n = 0;
+    for (const Tensor& p : Parameters()) n += p.numel();
+    return n;
+  }
+
+  /// Switches train/eval behaviour (dropout).
+  void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+ protected:
+  std::vector<Tensor> ParametersMutable() { return Parameters(); }
+
+  bool training_ = true;
+};
+
+/// Concatenates the parameter lists of several modules.
+std::vector<Tensor> CollectParameters(
+    const std::vector<const Module*>& modules);
+
+}  // namespace nn
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_NN_MODULE_H_

@@ -1,0 +1,816 @@
+#include "nn/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace omnimatch {
+namespace nn {
+
+namespace {
+
+using Impl = std::shared_ptr<TensorImpl>;
+
+/// Creates the output node of an op: shape, requires_grad propagation, and
+/// (when grad is needed) the parent edges. The caller attaches backward_fn
+/// only when `out->requires_grad` is true.
+Tensor MakeOutput(std::vector<int> shape, std::vector<Impl> parents) {
+  auto out = std::make_shared<TensorImpl>();
+  out->shape = std::move(shape);
+  out->data.assign(static_cast<size_t>(ShapeNumel(out->shape)), 0.0f);
+  bool needs_grad = false;
+  for (const Impl& p : parents) needs_grad = needs_grad || p->requires_grad;
+  out->requires_grad = needs_grad;
+  if (needs_grad) out->parents = std::move(parents);
+  return Tensor(std::move(out));
+}
+
+/// C[M,N] += A[M,K] * B[K,N], row-major, contiguous.
+void GemmNN(const float* a, const float* b, float* c, int m_dim, int k_dim,
+            int n_dim) {
+  for (int m = 0; m < m_dim; ++m) {
+    float* crow = c + static_cast<size_t>(m) * n_dim;
+    const float* arow = a + static_cast<size_t>(m) * k_dim;
+    for (int k = 0; k < k_dim; ++k) {
+      float av = arow[k];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<size_t>(k) * n_dim;
+      for (int n = 0; n < n_dim; ++n) crow[n] += av * brow[n];
+    }
+  }
+}
+
+/// C[M,N] += A * B^T where A rows start at a + m*lda (row length K, rows may
+/// overlap when lda < K, which the text-conv uses for sliding windows) and
+/// B is [N, K] contiguous.
+void GemmNTStrided(const float* a, int lda, const float* b, float* c,
+                   int m_dim, int k_dim, int n_dim) {
+  for (int m = 0; m < m_dim; ++m) {
+    const float* arow = a + static_cast<size_t>(m) * lda;
+    float* crow = c + static_cast<size_t>(m) * n_dim;
+    for (int n = 0; n < n_dim; ++n) {
+      const float* brow = b + static_cast<size_t>(n) * k_dim;
+      float acc = 0.0f;
+      for (int k = 0; k < k_dim; ++k) acc += arow[k] * brow[k];
+      crow[n] += acc;
+    }
+  }
+}
+
+/// C[M,N] += A[M,K] * B[N,K]^T, contiguous.
+void GemmNT(const float* a, const float* b, float* c, int m_dim, int k_dim,
+            int n_dim) {
+  GemmNTStrided(a, k_dim, b, c, m_dim, k_dim, n_dim);
+}
+
+/// C[M,N] += A[K,M]^T * B[K,N], contiguous.
+void GemmTN(const float* a, const float* b, float* c, int m_dim, int k_dim,
+            int n_dim) {
+  for (int k = 0; k < k_dim; ++k) {
+    const float* arow = a + static_cast<size_t>(k) * m_dim;
+    const float* brow = b + static_cast<size_t>(k) * n_dim;
+    for (int m = 0; m < m_dim; ++m) {
+      float av = arow[m];
+      if (av == 0.0f) continue;
+      float* crow = c + static_cast<size_t>(m) * n_dim;
+      for (int n = 0; n < n_dim; ++n) crow[n] += av * brow[n];
+    }
+  }
+}
+
+void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
+  OM_CHECK(a.shape() == b.shape())
+      << op << ": " << ShapeToString(a.shape()) << " vs "
+      << ShapeToString(b.shape());
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Add");
+  Tensor out = MakeOutput(a.shape(), {a.impl(), b.impl()});
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  auto& ov = out.data();
+  for (size_t i = 0; i < ov.size(); ++i) ov[i] = av[i] + bv[i];
+  if (out.requires_grad()) {
+    Impl ai = a.impl(), bi = b.impl();
+    TensorImpl* o = out.impl().get();
+    out.impl()->backward_fn = [ai, bi, o]() {
+      o->EnsureGrad();
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        for (size_t i = 0; i < o->grad.size(); ++i) ai->grad[i] += o->grad[i];
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        for (size_t i = 0; i < o->grad.size(); ++i) bi->grad[i] += o->grad[i];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Sub");
+  Tensor out = MakeOutput(a.shape(), {a.impl(), b.impl()});
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  auto& ov = out.data();
+  for (size_t i = 0; i < ov.size(); ++i) ov[i] = av[i] - bv[i];
+  if (out.requires_grad()) {
+    Impl ai = a.impl(), bi = b.impl();
+    TensorImpl* o = out.impl().get();
+    out.impl()->backward_fn = [ai, bi, o]() {
+      o->EnsureGrad();
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        for (size_t i = 0; i < o->grad.size(); ++i) ai->grad[i] += o->grad[i];
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        for (size_t i = 0; i < o->grad.size(); ++i) bi->grad[i] -= o->grad[i];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Mul");
+  Tensor out = MakeOutput(a.shape(), {a.impl(), b.impl()});
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  auto& ov = out.data();
+  for (size_t i = 0; i < ov.size(); ++i) ov[i] = av[i] * bv[i];
+  if (out.requires_grad()) {
+    Impl ai = a.impl(), bi = b.impl();
+    TensorImpl* o = out.impl().get();
+    out.impl()->backward_fn = [ai, bi, o]() {
+      o->EnsureGrad();
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        for (size_t i = 0; i < o->grad.size(); ++i) {
+          ai->grad[i] += o->grad[i] * bi->data[i];
+        }
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        for (size_t i = 0; i < o->grad.size(); ++i) {
+          bi->grad[i] += o->grad[i] * ai->data[i];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Tensor out = MakeOutput(a.shape(), {a.impl()});
+  const auto& av = a.data();
+  auto& ov = out.data();
+  for (size_t i = 0; i < ov.size(); ++i) ov[i] = av[i] * s;
+  if (out.requires_grad()) {
+    Impl ai = a.impl();
+    TensorImpl* o = out.impl().get();
+    out.impl()->backward_fn = [ai, o, s]() {
+      o->EnsureGrad();
+      ai->EnsureGrad();
+      for (size_t i = 0; i < o->grad.size(); ++i) ai->grad[i] += s * o->grad[i];
+    };
+  }
+  return out;
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  Tensor out = MakeOutput(a.shape(), {a.impl()});
+  const auto& av = a.data();
+  auto& ov = out.data();
+  for (size_t i = 0; i < ov.size(); ++i) ov[i] = av[i] + s;
+  if (out.requires_grad()) {
+    Impl ai = a.impl();
+    TensorImpl* o = out.impl().get();
+    out.impl()->backward_fn = [ai, o]() {
+      o->EnsureGrad();
+      ai->EnsureGrad();
+      for (size_t i = 0; i < o->grad.size(); ++i) ai->grad[i] += o->grad[i];
+    };
+  }
+  return out;
+}
+
+Tensor AddRowBroadcast(const Tensor& mat, const Tensor& row) {
+  OM_CHECK_EQ(mat.ndim(), 2);
+  int rows = mat.dim(0);
+  int cols = mat.dim(1);
+  OM_CHECK_EQ(static_cast<int>(row.numel()), cols)
+      << "bias length must equal column count";
+  Tensor out = MakeOutput(mat.shape(), {mat.impl(), row.impl()});
+  const auto& mv = mat.data();
+  const auto& rv = row.data();
+  auto& ov = out.data();
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      ov[static_cast<size_t>(r) * cols + c] =
+          mv[static_cast<size_t>(r) * cols + c] + rv[c];
+    }
+  }
+  if (out.requires_grad()) {
+    Impl mi = mat.impl(), ri = row.impl();
+    TensorImpl* o = out.impl().get();
+    out.impl()->backward_fn = [mi, ri, o, rows, cols]() {
+      o->EnsureGrad();
+      if (mi->requires_grad) {
+        mi->EnsureGrad();
+        for (size_t i = 0; i < o->grad.size(); ++i) mi->grad[i] += o->grad[i];
+      }
+      if (ri->requires_grad) {
+        ri->EnsureGrad();
+        for (int r = 0; r < rows; ++r) {
+          for (int c = 0; c < cols; ++c) {
+            ri->grad[c] += o->grad[static_cast<size_t>(r) * cols + c];
+          }
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Relu(const Tensor& x) {
+  Tensor out = MakeOutput(x.shape(), {x.impl()});
+  const auto& xv = x.data();
+  auto& ov = out.data();
+  for (size_t i = 0; i < ov.size(); ++i) ov[i] = xv[i] > 0.0f ? xv[i] : 0.0f;
+  if (out.requires_grad()) {
+    Impl xi = x.impl();
+    TensorImpl* o = out.impl().get();
+    out.impl()->backward_fn = [xi, o]() {
+      o->EnsureGrad();
+      xi->EnsureGrad();
+      for (size_t i = 0; i < o->grad.size(); ++i) {
+        if (xi->data[i] > 0.0f) xi->grad[i] += o->grad[i];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor LeakyRelu(const Tensor& x, float slope) {
+  Tensor out = MakeOutput(x.shape(), {x.impl()});
+  const auto& xv = x.data();
+  auto& ov = out.data();
+  for (size_t i = 0; i < ov.size(); ++i) {
+    ov[i] = xv[i] > 0.0f ? xv[i] : slope * xv[i];
+  }
+  if (out.requires_grad()) {
+    Impl xi = x.impl();
+    TensorImpl* o = out.impl().get();
+    out.impl()->backward_fn = [xi, o, slope]() {
+      o->EnsureGrad();
+      xi->EnsureGrad();
+      for (size_t i = 0; i < o->grad.size(); ++i) {
+        xi->grad[i] += o->grad[i] * (xi->data[i] > 0.0f ? 1.0f : slope);
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Reshape(const Tensor& x, std::vector<int> new_shape) {
+  OM_CHECK_EQ(ShapeNumel(new_shape), x.numel())
+      << ShapeToString(x.shape()) << " -> " << ShapeToString(new_shape);
+  Tensor out = MakeOutput(std::move(new_shape), {x.impl()});
+  out.data() = x.data();
+  if (out.requires_grad()) {
+    Impl xi = x.impl();
+    TensorImpl* o = out.impl().get();
+    out.impl()->backward_fn = [xi, o]() {
+      o->EnsureGrad();
+      xi->EnsureGrad();
+      for (size_t i = 0; i < o->grad.size(); ++i) xi->grad[i] += o->grad[i];
+    };
+  }
+  return out;
+}
+
+Tensor Tanh(const Tensor& x) {
+  Tensor out = MakeOutput(x.shape(), {x.impl()});
+  const auto& xv = x.data();
+  auto& ov = out.data();
+  for (size_t i = 0; i < ov.size(); ++i) ov[i] = std::tanh(xv[i]);
+  if (out.requires_grad()) {
+    Impl xi = x.impl();
+    TensorImpl* o = out.impl().get();
+    out.impl()->backward_fn = [xi, o]() {
+      o->EnsureGrad();
+      xi->EnsureGrad();
+      for (size_t i = 0; i < o->grad.size(); ++i) {
+        float y = o->data[i];
+        xi->grad[i] += o->grad[i] * (1.0f - y * y);
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Sigmoid(const Tensor& x) {
+  Tensor out = MakeOutput(x.shape(), {x.impl()});
+  const auto& xv = x.data();
+  auto& ov = out.data();
+  for (size_t i = 0; i < ov.size(); ++i) {
+    ov[i] = 1.0f / (1.0f + std::exp(-xv[i]));
+  }
+  if (out.requires_grad()) {
+    Impl xi = x.impl();
+    TensorImpl* o = out.impl().get();
+    out.impl()->backward_fn = [xi, o]() {
+      o->EnsureGrad();
+      xi->EnsureGrad();
+      for (size_t i = 0; i < o->grad.size(); ++i) {
+        float y = o->data[i];
+        xi->grad[i] += o->grad[i] * y * (1.0f - y);
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Dropout(const Tensor& x, float p, bool training, Rng* rng) {
+  OM_CHECK(p >= 0.0f && p < 1.0f) << "dropout p=" << p;
+  if (!training || p == 0.0f) return x;
+  OM_CHECK(rng != nullptr);
+  Tensor out = MakeOutput(x.shape(), {x.impl()});
+  const auto& xv = x.data();
+  auto& ov = out.data();
+  float keep_scale = 1.0f / (1.0f - p);
+  auto mask = std::make_shared<std::vector<float>>(xv.size(), 0.0f);
+  for (size_t i = 0; i < xv.size(); ++i) {
+    if (!rng->Bernoulli(p)) (*mask)[i] = keep_scale;
+    ov[i] = xv[i] * (*mask)[i];
+  }
+  if (out.requires_grad()) {
+    Impl xi = x.impl();
+    TensorImpl* o = out.impl().get();
+    out.impl()->backward_fn = [xi, o, mask]() {
+      o->EnsureGrad();
+      xi->EnsureGrad();
+      for (size_t i = 0; i < o->grad.size(); ++i) {
+        xi->grad[i] += o->grad[i] * (*mask)[i];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  OM_CHECK_EQ(a.ndim(), 2);
+  OM_CHECK_EQ(b.ndim(), 2);
+  int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  OM_CHECK_EQ(k, b.dim(0)) << "MatMul inner dims";
+  Tensor out = MakeOutput({m, n}, {a.impl(), b.impl()});
+  GemmNN(a.data().data(), b.data().data(), out.data().data(), m, k, n);
+  if (out.requires_grad()) {
+    Impl ai = a.impl(), bi = b.impl();
+    TensorImpl* o = out.impl().get();
+    out.impl()->backward_fn = [ai, bi, o, m, k, n]() {
+      o->EnsureGrad();
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        // dA[M,K] += dOut[M,N] * B[K,N]^T
+        GemmNT(o->grad.data(), bi->data.data(), ai->grad.data(), m, n, k);
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        // dB[K,N] += A[M,K]^T * dOut[M,N]
+        GemmTN(ai->data.data(), o->grad.data(), bi->grad.data(), k, m, n);
+      }
+    };
+  }
+  return out;
+}
+
+Tensor MatMulNT(const Tensor& a, const Tensor& b) {
+  OM_CHECK_EQ(a.ndim(), 2);
+  OM_CHECK_EQ(b.ndim(), 2);
+  int m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  OM_CHECK_EQ(k, b.dim(1)) << "MatMulNT inner dims";
+  Tensor out = MakeOutput({m, n}, {a.impl(), b.impl()});
+  GemmNT(a.data().data(), b.data().data(), out.data().data(), m, k, n);
+  if (out.requires_grad()) {
+    Impl ai = a.impl(), bi = b.impl();
+    TensorImpl* o = out.impl().get();
+    out.impl()->backward_fn = [ai, bi, o, m, k, n]() {
+      o->EnsureGrad();
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        // dA[M,K] += dOut[M,N] * B[N,K]
+        GemmNN(o->grad.data(), bi->data.data(), ai->grad.data(), m, n, k);
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        // dB[N,K] += dOut[M,N]^T * A[M,K]
+        GemmTN(o->grad.data(), ai->data.data(), bi->grad.data(), n, m, k);
+      }
+    };
+  }
+  return out;
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  OM_CHECK(!parts.empty());
+  int rows = parts[0].dim(0);
+  int total_cols = 0;
+  std::vector<Impl> parents;
+  for (const Tensor& p : parts) {
+    OM_CHECK_EQ(p.ndim(), 2);
+    OM_CHECK_EQ(p.dim(0), rows) << "ConcatCols row mismatch";
+    total_cols += p.dim(1);
+    parents.push_back(p.impl());
+  }
+  Tensor out = MakeOutput({rows, total_cols}, parents);
+  auto& ov = out.data();
+  int col_offset = 0;
+  for (const Tensor& p : parts) {
+    int cols = p.dim(1);
+    const auto& pv = p.data();
+    for (int r = 0; r < rows; ++r) {
+      std::copy(pv.begin() + static_cast<size_t>(r) * cols,
+                pv.begin() + static_cast<size_t>(r + 1) * cols,
+                ov.begin() + static_cast<size_t>(r) * total_cols + col_offset);
+    }
+    col_offset += cols;
+  }
+  if (out.requires_grad()) {
+    std::vector<Impl> impls;
+    std::vector<int> widths;
+    for (const Tensor& p : parts) {
+      impls.push_back(p.impl());
+      widths.push_back(p.dim(1));
+    }
+    TensorImpl* o = out.impl().get();
+    out.impl()->backward_fn = [impls, widths, o, rows, total_cols]() {
+      o->EnsureGrad();
+      int offset = 0;
+      for (size_t i = 0; i < impls.size(); ++i) {
+        int cols = widths[i];
+        if (impls[i]->requires_grad) {
+          impls[i]->EnsureGrad();
+          for (int r = 0; r < rows; ++r) {
+            const float* src =
+                o->grad.data() + static_cast<size_t>(r) * total_cols + offset;
+            float* dst =
+                impls[i]->grad.data() + static_cast<size_t>(r) * cols;
+            for (int c = 0; c < cols; ++c) dst[c] += src[c];
+          }
+        }
+        offset += cols;
+      }
+    };
+  }
+  return out;
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  OM_CHECK(!parts.empty());
+  int cols = parts[0].dim(1);
+  int total_rows = 0;
+  std::vector<Impl> parents;
+  for (const Tensor& p : parts) {
+    OM_CHECK_EQ(p.ndim(), 2);
+    OM_CHECK_EQ(p.dim(1), cols) << "ConcatRows column mismatch";
+    total_rows += p.dim(0);
+    parents.push_back(p.impl());
+  }
+  Tensor out = MakeOutput({total_rows, cols}, parents);
+  auto& ov = out.data();
+  size_t offset = 0;
+  for (const Tensor& p : parts) {
+    const auto& pv = p.data();
+    std::copy(pv.begin(), pv.end(), ov.begin() + offset);
+    offset += pv.size();
+  }
+  if (out.requires_grad()) {
+    std::vector<Impl> impls;
+    for (const Tensor& p : parts) impls.push_back(p.impl());
+    TensorImpl* o = out.impl().get();
+    out.impl()->backward_fn = [impls, o]() {
+      o->EnsureGrad();
+      size_t off = 0;
+      for (const Impl& pi : impls) {
+        size_t n = pi->data.size();
+        if (pi->requires_grad) {
+          pi->EnsureGrad();
+          for (size_t i = 0; i < n; ++i) pi->grad[i] += o->grad[off + i];
+        }
+        off += n;
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Gather(const Tensor& table, const std::vector<int>& ids) {
+  OM_CHECK_EQ(table.ndim(), 2);
+  int vocab = table.dim(0);
+  int width = table.dim(1);
+  OM_CHECK(!ids.empty());
+  for (int id : ids) {
+    OM_CHECK(id >= 0 && id < vocab) << "Gather id " << id << " of " << vocab;
+  }
+  Tensor out =
+      MakeOutput({static_cast<int>(ids.size()), width}, {table.impl()});
+  const auto& tv = table.data();
+  auto& ov = out.data();
+  for (size_t r = 0; r < ids.size(); ++r) {
+    std::copy(tv.begin() + static_cast<size_t>(ids[r]) * width,
+              tv.begin() + static_cast<size_t>(ids[r] + 1) * width,
+              ov.begin() + r * width);
+  }
+  if (out.requires_grad()) {
+    Impl ti = table.impl();
+    TensorImpl* o = out.impl().get();
+    auto ids_copy = std::make_shared<std::vector<int>>(ids);
+    out.impl()->backward_fn = [ti, o, ids_copy, width]() {
+      o->EnsureGrad();
+      ti->EnsureGrad();
+      for (size_t r = 0; r < ids_copy->size(); ++r) {
+        float* dst =
+            ti->grad.data() + static_cast<size_t>((*ids_copy)[r]) * width;
+        const float* src = o->grad.data() + r * width;
+        for (int c = 0; c < width; ++c) dst[c] += src[c];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor MeanRows(const Tensor& x) {
+  OM_CHECK_EQ(x.ndim(), 2);
+  int rows = x.dim(0);
+  int cols = x.dim(1);
+  Tensor out = MakeOutput({1, cols}, {x.impl()});
+  const auto& xv = x.data();
+  auto& ov = out.data();
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      ov[c] += xv[static_cast<size_t>(r) * cols + c];
+    }
+  }
+  float inv = 1.0f / static_cast<float>(rows);
+  for (int c = 0; c < cols; ++c) ov[c] *= inv;
+  if (out.requires_grad()) {
+    Impl xi = x.impl();
+    TensorImpl* o = out.impl().get();
+    out.impl()->backward_fn = [xi, o, rows, cols, inv]() {
+      o->EnsureGrad();
+      xi->EnsureGrad();
+      for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+          xi->grad[static_cast<size_t>(r) * cols + c] += inv * o->grad[c];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor RowSum(const Tensor& x) {
+  OM_CHECK_EQ(x.ndim(), 2);
+  int rows = x.dim(0);
+  int cols = x.dim(1);
+  Tensor out = MakeOutput({rows, 1}, {x.impl()});
+  const auto& xv = x.data();
+  auto& ov = out.data();
+  for (int r = 0; r < rows; ++r) {
+    float acc = 0.0f;
+    const float* row = xv.data() + static_cast<size_t>(r) * cols;
+    for (int c = 0; c < cols; ++c) acc += row[c];
+    ov[static_cast<size_t>(r)] = acc;
+  }
+  if (out.requires_grad()) {
+    Impl xi = x.impl();
+    TensorImpl* o = out.impl().get();
+    out.impl()->backward_fn = [xi, o, rows, cols]() {
+      o->EnsureGrad();
+      xi->EnsureGrad();
+      for (int r = 0; r < rows; ++r) {
+        float g = o->grad[static_cast<size_t>(r)];
+        float* row = xi->grad.data() + static_cast<size_t>(r) * cols;
+        for (int c = 0; c < cols; ++c) row[c] += g;
+      }
+    };
+  }
+  return out;
+}
+
+Tensor MeanAxis1(const Tensor& x) {
+  OM_CHECK_EQ(x.ndim(), 3);
+  int batch = x.dim(0);
+  int length = x.dim(1);
+  int width = x.dim(2);
+  Tensor out = MakeOutput({batch, width}, {x.impl()});
+  const auto& xv = x.data();
+  auto& ov = out.data();
+  float inv = 1.0f / static_cast<float>(length);
+  for (int b = 0; b < batch; ++b) {
+    float* orow = ov.data() + static_cast<size_t>(b) * width;
+    for (int l = 0; l < length; ++l) {
+      const float* row =
+          xv.data() + (static_cast<size_t>(b) * length + l) * width;
+      for (int e = 0; e < width; ++e) orow[e] += row[e];
+    }
+    for (int e = 0; e < width; ++e) orow[e] *= inv;
+  }
+  if (out.requires_grad()) {
+    Impl xi = x.impl();
+    TensorImpl* o = out.impl().get();
+    out.impl()->backward_fn = [xi, o, batch, length, width, inv]() {
+      o->EnsureGrad();
+      xi->EnsureGrad();
+      for (int b = 0; b < batch; ++b) {
+        const float* grow = o->grad.data() + static_cast<size_t>(b) * width;
+        for (int l = 0; l < length; ++l) {
+          float* row =
+              xi->grad.data() + (static_cast<size_t>(b) * length + l) * width;
+          for (int e = 0; e < width; ++e) row[e] += inv * grow[e];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Softmax(const Tensor& x) {
+  OM_CHECK_EQ(x.ndim(), 2);
+  int rows = x.dim(0);
+  int cols = x.dim(1);
+  Tensor out = MakeOutput(x.shape(), {x.impl()});
+  const auto& xv = x.data();
+  auto& ov = out.data();
+  for (int r = 0; r < rows; ++r) {
+    const float* xr = xv.data() + static_cast<size_t>(r) * cols;
+    float* orow = ov.data() + static_cast<size_t>(r) * cols;
+    float max_v = xr[0];
+    for (int c = 1; c < cols; ++c) max_v = std::max(max_v, xr[c]);
+    float sum = 0.0f;
+    for (int c = 0; c < cols; ++c) {
+      orow[c] = std::exp(xr[c] - max_v);
+      sum += orow[c];
+    }
+    float inv = 1.0f / sum;
+    for (int c = 0; c < cols; ++c) orow[c] *= inv;
+  }
+  if (out.requires_grad()) {
+    Impl xi = x.impl();
+    TensorImpl* o = out.impl().get();
+    out.impl()->backward_fn = [xi, o, rows, cols]() {
+      o->EnsureGrad();
+      xi->EnsureGrad();
+      for (int r = 0; r < rows; ++r) {
+        const float* y = o->data.data() + static_cast<size_t>(r) * cols;
+        const float* dy = o->grad.data() + static_cast<size_t>(r) * cols;
+        float* dx = xi->grad.data() + static_cast<size_t>(r) * cols;
+        float dot = 0.0f;
+        for (int c = 0; c < cols; ++c) dot += y[c] * dy[c];
+        for (int c = 0; c < cols; ++c) dx[c] += y[c] * (dy[c] - dot);
+      }
+    };
+  }
+  return out;
+}
+
+Tensor SumAll(const Tensor& x) {
+  Tensor out = MakeOutput({1}, {x.impl()});
+  const auto& xv = x.data();
+  double acc = 0.0;
+  for (float v : xv) acc += v;
+  out.data()[0] = static_cast<float>(acc);
+  if (out.requires_grad()) {
+    Impl xi = x.impl();
+    TensorImpl* o = out.impl().get();
+    out.impl()->backward_fn = [xi, o]() {
+      o->EnsureGrad();
+      xi->EnsureGrad();
+      float g = o->grad[0];
+      for (float& v : xi->grad) v += g;
+    };
+  }
+  return out;
+}
+
+Tensor MeanAll(const Tensor& x) {
+  float inv = 1.0f / static_cast<float>(x.numel());
+  return Scale(SumAll(x), inv);
+}
+
+Tensor GradReverse(const Tensor& x, float lambda) {
+  Tensor out = MakeOutput(x.shape(), {x.impl()});
+  out.data() = x.data();
+  if (out.requires_grad()) {
+    Impl xi = x.impl();
+    TensorImpl* o = out.impl().get();
+    out.impl()->backward_fn = [xi, o, lambda]() {
+      o->EnsureGrad();
+      xi->EnsureGrad();
+      for (size_t i = 0; i < o->grad.size(); ++i) {
+        xi->grad[i] -= lambda * o->grad[i];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor TextConvMaxPool(const Tensor& input, const Tensor& weight,
+                       const Tensor& bias, int kernel_size) {
+  OM_CHECK_EQ(input.ndim(), 3);
+  OM_CHECK_EQ(weight.ndim(), 2);
+  int batch = input.dim(0);
+  int length = input.dim(1);
+  int embed = input.dim(2);
+  int channels = weight.dim(0);
+  OM_CHECK_EQ(weight.dim(1), kernel_size * embed)
+      << "filter width must be kernel_size * embed";
+  OM_CHECK_EQ(static_cast<int>(bias.numel()), channels);
+  OM_CHECK_GE(length, kernel_size) << "document shorter than kernel";
+  int windows = length - kernel_size + 1;
+
+  Tensor out =
+      MakeOutput({batch, channels}, {input.impl(), weight.impl(), bias.impl()});
+  const float* x = input.data().data();
+  const float* w = weight.data().data();
+  const float* bvec = bias.data().data();
+  float* o = out.data().data();
+  // argmax window index per (batch, channel), needed for backward.
+  auto argmax = std::make_shared<std::vector<int>>(
+      static_cast<size_t>(batch) * channels, 0);
+
+  int filter_len = kernel_size * embed;
+#pragma omp parallel for schedule(static)
+  for (int b = 0; b < batch; ++b) {
+    std::vector<float> scores(static_cast<size_t>(windows) * channels, 0.0f);
+    const float* doc = x + static_cast<size_t>(b) * length * embed;
+    // scores[t, c] = <doc window t, filter c>; windows overlap via lda=embed.
+    GemmNTStrided(doc, embed, w, scores.data(), windows, filter_len, channels);
+    for (int c = 0; c < channels; ++c) {
+      float best = scores[c];
+      int best_t = 0;
+      for (int t = 1; t < windows; ++t) {
+        float v = scores[static_cast<size_t>(t) * channels + c];
+        if (v > best) {
+          best = v;
+          best_t = t;
+        }
+      }
+      best += bvec[c];
+      // max-over-time then ReLU == ReLU then max (ReLU is monotone).
+      o[static_cast<size_t>(b) * channels + c] = best > 0.0f ? best : 0.0f;
+      (*argmax)[static_cast<size_t>(b) * channels + c] = best_t;
+    }
+  }
+
+  if (out.requires_grad()) {
+    Impl xi = input.impl(), wi = weight.impl(), bi = bias.impl();
+    TensorImpl* oi = out.impl().get();
+    out.impl()->backward_fn = [xi, wi, bi, oi, argmax, batch, length, embed,
+                               channels, filter_len]() {
+      oi->EnsureGrad();
+      bool need_x = xi->requires_grad;
+      bool need_w = wi->requires_grad;
+      bool need_b = bi->requires_grad;
+      if (need_x) xi->EnsureGrad();
+      if (need_w) wi->EnsureGrad();
+      if (need_b) bi->EnsureGrad();
+      for (int b = 0; b < batch; ++b) {
+        const float* doc =
+            xi->data.data() + static_cast<size_t>(b) * length * embed;
+        float* ddoc =
+            need_x ? xi->grad.data() + static_cast<size_t>(b) * length * embed
+                   : nullptr;
+        for (int c = 0; c < channels; ++c) {
+          size_t oc = static_cast<size_t>(b) * channels + c;
+          float g = oi->grad[oc];
+          if (g == 0.0f || oi->data[oc] <= 0.0f) continue;
+          int t = (*argmax)[oc];
+          const float* win = doc + static_cast<size_t>(t) * embed;
+          const float* wrow = wi->data.data() + static_cast<size_t>(c) * filter_len;
+          if (need_b) bi->grad[c] += g;
+          if (need_w) {
+            float* dwrow =
+                wi->grad.data() + static_cast<size_t>(c) * filter_len;
+            for (int j = 0; j < filter_len; ++j) dwrow[j] += g * win[j];
+          }
+          if (need_x) {
+            float* dwin = ddoc + static_cast<size_t>(t) * embed;
+            for (int j = 0; j < filter_len; ++j) dwin[j] += g * wrow[j];
+          }
+        }
+      }
+    };
+  }
+  return out;
+}
+
+}  // namespace nn
+}  // namespace omnimatch

@@ -1,0 +1,127 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace omnimatch {
+namespace nn {
+
+Optimizer::Optimizer(std::vector<Tensor> params)
+    : params_(std::move(params)) {
+  for (const Tensor& p : params_) {
+    OM_CHECK(p.defined());
+    OM_CHECK(p.requires_grad()) << "optimizer parameter without grad";
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Tensor& p : params_) p.ZeroGrad();
+}
+
+void Optimizer::ClipGradNorm(float max_norm) {
+  OM_CHECK_GT(max_norm, 0.0f);
+  double sq = 0.0;
+  for (Tensor& p : params_) {
+    for (float g : p.grad()) sq += static_cast<double>(g) * g;
+  }
+  double norm = std::sqrt(sq);
+  if (norm <= max_norm) return;
+  float scale = static_cast<float>(max_norm / (norm + 1e-12));
+  for (Tensor& p : params_) {
+    for (float& g : p.grad()) g *= scale;
+  }
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  if (momentum_ != 0.0f) {
+    velocity_.resize(params_.size());
+    for (size_t i = 0; i < params_.size(); ++i) {
+      velocity_[i].assign(static_cast<size_t>(params_[i].numel()), 0.0f);
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& data = params_[i].data();
+    auto& grad = params_[i].grad();
+    for (size_t j = 0; j < data.size(); ++j) {
+      float g = grad[j] + weight_decay_ * data[j];
+      if (momentum_ != 0.0f) {
+        velocity_[i][j] = momentum_ * velocity_[i][j] + g;
+        g = velocity_[i][j];
+      }
+      data[j] -= lr_ * g;
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(static_cast<size_t>(params_[i].numel()), 0.0f);
+    v_[i].assign(static_cast<size_t>(params_[i].numel()), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& data = params_[i].data();
+    auto& grad = params_[i].grad();
+    for (size_t j = 0; j < data.size(); ++j) {
+      float g = grad[j] + weight_decay_ * data[j];
+      m_[i][j] = beta1_ * m_[i][j] + (1.0f - beta1_) * g;
+      v_[i][j] = beta2_ * v_[i][j] + (1.0f - beta2_) * g * g;
+      float mhat = m_[i][j] / bc1;
+      float vhat = v_[i][j] / bc2;
+      data[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+Adadelta::Adadelta(std::vector<Tensor> params, float lr, float rho, float eps)
+    : Optimizer(std::move(params)), lr_(lr), rho_(rho), eps_(eps) {
+  accum_grad_.resize(params_.size());
+  accum_update_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    accum_grad_[i].assign(static_cast<size_t>(params_[i].numel()), 0.0f);
+    accum_update_[i].assign(static_cast<size_t>(params_[i].numel()), 0.0f);
+  }
+}
+
+void Adadelta::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& data = params_[i].data();
+    auto& grad = params_[i].grad();
+    auto& eg = accum_grad_[i];
+    auto& eu = accum_update_[i];
+    for (size_t j = 0; j < data.size(); ++j) {
+      float g = grad[j];
+      eg[j] = rho_ * eg[j] + (1.0f - rho_) * g * g;
+      float update =
+          std::sqrt((eu[j] + eps_) / (eg[j] + eps_)) * g;
+      eu[j] = rho_ * eu[j] + (1.0f - rho_) * update * update;
+      data[j] -= lr_ * update;
+    }
+  }
+}
+
+}  // namespace nn
+}  // namespace omnimatch

@@ -1,0 +1,97 @@
+#ifndef OMNIMATCH_NN_OPTIMIZER_H_
+#define OMNIMATCH_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace omnimatch {
+namespace nn {
+
+/// Base optimizer over a fixed parameter list.
+///
+/// Usage per training step: ZeroGrad() -> forward -> loss.Backward() ->
+/// Step(). Per-parameter state (momentum buffers etc.) is keyed by position,
+/// so the parameter list must not change after construction.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using the gradients currently stored on the params.
+  virtual void Step() = 0;
+
+  /// Clears all parameter gradients.
+  void ZeroGrad();
+
+  /// Clips gradients to a maximum global L2 norm. Call before Step().
+  /// No-op if the current norm is below `max_norm`.
+  void ClipGradNorm(float max_norm);
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+/// Stochastic gradient descent with optional momentum and L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f,
+      float weight_decay = 0.0f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba 2015) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+/// Adadelta (Zeiler 2012) — the optimizer the paper trains with
+/// (lr = 0.02, rho = 0.95, §5.4).
+class Adadelta : public Optimizer {
+ public:
+  Adadelta(std::vector<Tensor> params, float lr = 0.02f, float rho = 0.95f,
+           float eps = 1e-6f);
+
+  void Step() override;
+
+ private:
+  float lr_;
+  float rho_;
+  float eps_;
+  std::vector<std::vector<float>> accum_grad_;
+  std::vector<std::vector<float>> accum_update_;
+};
+
+}  // namespace nn
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_NN_OPTIMIZER_H_

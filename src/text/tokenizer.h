@@ -1,0 +1,19 @@
+#ifndef OMNIMATCH_TEXT_TOKENIZER_H_
+#define OMNIMATCH_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace omnimatch {
+namespace text {
+
+/// Tokenizes review text following §5.2 of the paper: lowercase, strip all
+/// punctuation, split on whitespace. Digits and letters are kept; every
+/// other character becomes a separator.
+std::vector<std::string> Tokenize(std::string_view text);
+
+}  // namespace text
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_TEXT_TOKENIZER_H_

@@ -1,0 +1,95 @@
+#include "baselines/mf.h"
+
+#include <gtest/gtest.h>
+
+namespace omnimatch {
+namespace baselines {
+namespace {
+
+std::vector<RatingTriple> BlockRatings() {
+  // Two user groups x two item groups with clearly different ratings.
+  std::vector<RatingTriple> out;
+  for (int u = 0; u < 10; ++u) {
+    for (int i = 0; i < 10; ++i) {
+      bool same_block = (u < 5) == (i < 5);
+      out.push_back({u, 100 + i, same_block ? 5.0f : 1.0f});
+    }
+  }
+  return out;
+}
+
+TEST(MfTest, LearnsBlockStructure) {
+  MfConfig config;
+  config.epochs = 120;
+  MatrixFactorization mf(config);
+  mf.Fit(BlockRatings());
+  EXPECT_GT(mf.Predict(0, 100), 3.8f);  // same block
+  EXPECT_LT(mf.Predict(0, 109), 2.2f);  // cross block
+}
+
+TEST(MfTest, PredictsGlobalMeanForUnknownPair) {
+  MatrixFactorization mf(MfConfig{});
+  mf.Fit({{0, 1, 4.0f}, {1, 1, 2.0f}});
+  EXPECT_FLOAT_EQ(mf.Predict(999, 999), 3.0f);
+}
+
+TEST(MfTest, PredictionsClampedToScale) {
+  MatrixFactorization mf(MfConfig{});
+  mf.Fit(BlockRatings());
+  for (int u = 0; u < 10; ++u) {
+    for (int i = 100; i < 110; ++i) {
+      float p = mf.Predict(u, i);
+      EXPECT_GE(p, 1.0f);
+      EXPECT_LE(p, 5.0f);
+    }
+  }
+}
+
+TEST(MfTest, FactorsHaveConfiguredDim) {
+  MfConfig config;
+  config.dim = 7;
+  MatrixFactorization mf(config);
+  mf.Fit({{0, 1, 4.0f}, {1, 2, 2.0f}});
+  EXPECT_EQ(mf.UserFactor(0).size(), 7u);
+  EXPECT_EQ(mf.ItemFactor(2).size(), 7u);
+  EXPECT_TRUE(mf.HasUser(1));
+  EXPECT_FALSE(mf.HasUser(5));
+}
+
+TEST(MfTest, BiaslessModeKeepsBiasesZero) {
+  MfConfig config;
+  config.use_biases = false;
+  MatrixFactorization mf(config);
+  mf.Fit(BlockRatings());
+  EXPECT_FLOAT_EQ(mf.UserBias(0), 0.0f);
+  EXPECT_FLOAT_EQ(mf.ItemBias(100), 0.0f);
+  // It still learns the structure through factors alone.
+  EXPECT_GT(mf.Predict(0, 100), mf.Predict(0, 109));
+}
+
+TEST(MfTest, DeterministicGivenSeed) {
+  MfConfig config;
+  MatrixFactorization a(config), b(config);
+  auto ratings = BlockRatings();
+  a.Fit(ratings);
+  b.Fit(ratings);
+  EXPECT_EQ(a.UserFactor(3), b.UserFactor(3));
+}
+
+TEST(MfTest, UserBiasCapturesGenerosity) {
+  // User 0 rates everything one star higher than user 1.
+  std::vector<RatingTriple> ratings;
+  for (int i = 0; i < 20; ++i) {
+    ratings.push_back({0, i, 4.0f});
+    ratings.push_back({1, i, 3.0f});
+  }
+  MfConfig config;
+  config.epochs = 80;
+  MatrixFactorization mf(config);
+  mf.Fit(ratings);
+  EXPECT_GT(mf.UserBias(0), mf.UserBias(1));
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace omnimatch

@@ -1,0 +1,77 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace omnimatch {
+namespace {
+
+std::vector<char*> MakeArgv(std::vector<std::string>& storage) {
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  return argv;
+}
+
+TEST(FlagParserTest, EqualsSyntax) {
+  std::vector<std::string> args = {"prog", "--seed=42", "--name=amazon"};
+  auto argv = MakeArgv(args);
+  FlagParser p;
+  ASSERT_TRUE(p.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(p.GetInt("seed", 0), 42);
+  EXPECT_EQ(p.GetString("name", ""), "amazon");
+}
+
+TEST(FlagParserTest, SpaceSyntax) {
+  std::vector<std::string> args = {"prog", "--epochs", "7"};
+  auto argv = MakeArgv(args);
+  FlagParser p;
+  ASSERT_TRUE(p.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(p.GetInt("epochs", 0), 7);
+}
+
+TEST(FlagParserTest, BareFlagIsTrue) {
+  std::vector<std::string> args = {"prog", "--verbose"};
+  auto argv = MakeArgv(args);
+  FlagParser p;
+  ASSERT_TRUE(p.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_TRUE(p.GetBool("verbose", false));
+  EXPECT_TRUE(p.Has("verbose"));
+  EXPECT_FALSE(p.Has("quiet"));
+}
+
+TEST(FlagParserTest, DefaultsWhenAbsent) {
+  std::vector<std::string> args = {"prog"};
+  auto argv = MakeArgv(args);
+  FlagParser p;
+  ASSERT_TRUE(p.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(p.GetInt("seed", 17), 17);
+  EXPECT_DOUBLE_EQ(p.GetDouble("alpha", 0.2), 0.2);
+  EXPECT_FALSE(p.GetBool("verbose", false));
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  std::vector<std::string> args = {"prog", "input.csv", "--seed=1", "out.csv"};
+  auto argv = MakeArgv(args);
+  FlagParser p;
+  ASSERT_TRUE(p.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "input.csv");
+  EXPECT_EQ(p.positional()[1], "out.csv");
+}
+
+TEST(FlagParserTest, DoubleValues) {
+  std::vector<std::string> args = {"prog", "--alpha=0.35"};
+  auto argv = MakeArgv(args);
+  FlagParser p;
+  ASSERT_TRUE(p.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_NEAR(p.GetDouble("alpha", 0.0), 0.35, 1e-12);
+}
+
+TEST(FlagParserTest, BareDoubleDashRejected) {
+  std::vector<std::string> args = {"prog", "--"};
+  auto argv = MakeArgv(args);
+  FlagParser p;
+  EXPECT_FALSE(p.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+}  // namespace
+}  // namespace omnimatch

@@ -1,0 +1,175 @@
+#include "core/aux_review.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/splits.h"
+#include "data/synthetic.h"
+
+namespace omnimatch {
+namespace core {
+namespace {
+
+data::Review MakeReview(int user, int item, float rating,
+                        const std::string& summary) {
+  data::Review r;
+  r.user_id = user;
+  r.item_id = item;
+  r.rating = rating;
+  r.summary = summary;
+  r.full_text = "full " + summary;
+  return r;
+}
+
+// A hand-built scenario mirroring the §5.10 case study:
+// cold user 0 rated source item 1 with 5.0; users 1 and 2 did too (like-
+// minded); user 3 rated it 2.0 (not like-minded). Users 1-3 have target
+// reviews; user 4 is overlapping but never co-rated with user 0.
+data::CrossDomainDataset CaseStudyCross() {
+  data::DomainDataset source("Books");
+  source.AddReview(MakeReview(0, 1, 5, "vampire romance"));
+  source.AddReview(MakeReview(0, 2, 3, "boring history"));
+  source.AddReview(MakeReview(1, 1, 5, "fangtastic"));
+  source.AddReview(MakeReview(2, 1, 5, "loved it"));
+  source.AddReview(MakeReview(3, 1, 2, "awful"));
+  source.AddReview(MakeReview(4, 2, 3, "mediocre"));
+  data::DomainDataset target("Movies");
+  target.AddReview(MakeReview(1, 101, 5, "great vampire movie"));
+  target.AddReview(MakeReview(1, 102, 4, "spooky fun"));
+  target.AddReview(MakeReview(2, 103, 5, "crouching tiger"));
+  target.AddReview(MakeReview(3, 104, 1, "terrible"));
+  target.AddReview(MakeReview(4, 105, 3, "fine"));
+  return data::CrossDomainDataset(std::move(source), std::move(target));
+}
+
+TEST(AuxReviewTest, BorrowsOnlyFromLikeMindedEligibleUsers) {
+  data::CrossDomainDataset cross = CaseStudyCross();
+  AuxReviewGenerator generator(&cross, /*eligible=*/{1, 2, 3, 4});
+  Rng rng(1);
+  AuxReviewTrace trace;
+  auto reviews = generator.GenerateForUser(0, &rng, &trace);
+
+  ASSERT_EQ(trace.choices.size(), 2u);  // one per source record of user 0
+  // Record for item 1 (rating 5): like-minded = {1, 2} only.
+  const AuxReviewChoice& c0 = trace.choices[0];
+  EXPECT_EQ(c0.source_item, 1);
+  EXPECT_EQ(c0.num_like_minded, 2);
+  EXPECT_TRUE(c0.like_minded_user == 1 || c0.like_minded_user == 2);
+  EXPECT_FALSE(c0.aux_review.empty());
+  // The borrowed review must be one the like-minded user wrote in the
+  // TARGET domain.
+  std::set<std::string> valid_targets = {
+      "great vampire movie", "spooky fun", "crouching tiger"};
+  EXPECT_EQ(valid_targets.count(c0.aux_review), 1u);
+
+  // Record for item 2 (rating 3): user 4 also rated item 2 but with 3.0 ->
+  // like-minded; user 4 has target reviews.
+  const AuxReviewChoice& c1 = trace.choices[1];
+  EXPECT_EQ(c1.source_item, 2);
+  EXPECT_EQ(c1.num_like_minded, 1);
+  EXPECT_EQ(c1.like_minded_user, 4);
+  EXPECT_EQ(c1.aux_review, "fine");
+
+  EXPECT_EQ(reviews.size(), 2u);
+}
+
+TEST(AuxReviewTest, ExcludesSelfFromLikeMindedPool) {
+  data::CrossDomainDataset cross = CaseStudyCross();
+  // User 1 is eligible; generating FOR user 1 must not pick user 1.
+  AuxReviewGenerator generator(&cross, {1, 2, 3, 4});
+  Rng rng(2);
+  AuxReviewTrace trace;
+  generator.GenerateForUser(1, &rng, &trace);
+  for (const auto& choice : trace.choices) {
+    EXPECT_NE(choice.like_minded_user, 1);
+  }
+}
+
+TEST(AuxReviewTest, IneligibleUsersNeverBorrowedFrom) {
+  data::CrossDomainDataset cross = CaseStudyCross();
+  // Only user 2 eligible: all borrowed reviews must be user 2's.
+  AuxReviewGenerator generator(&cross, {2});
+  Rng rng(3);
+  AuxReviewTrace trace;
+  auto reviews = generator.GenerateForUser(0, &rng, &trace);
+  for (const auto& r : reviews) EXPECT_EQ(r, "crouching tiger");
+  EXPECT_EQ(trace.choices[1].num_like_minded, 0);  // user 4 not eligible
+}
+
+TEST(AuxReviewTest, NoLikeMindedYieldsEmpty) {
+  data::CrossDomainDataset cross = CaseStudyCross();
+  AuxReviewGenerator generator(&cross, {3});  // user 3 rated item1 with 2.0
+  Rng rng(4);
+  auto reviews = generator.GenerateForUser(0, &rng);
+  EXPECT_TRUE(reviews.empty());
+}
+
+TEST(AuxReviewTest, RespectsTextFieldSelection) {
+  data::CrossDomainDataset cross = CaseStudyCross();
+  AuxReviewGenerator generator(&cross, {2}, TextField::kFullText);
+  Rng rng(5);
+  auto reviews = generator.GenerateForUser(0, &rng);
+  ASSERT_FALSE(reviews.empty());
+  EXPECT_EQ(reviews[0].rfind("full ", 0), 0u);
+}
+
+TEST(AuxReviewTest, DeterministicGivenRngSeed) {
+  data::SyntheticConfig config;
+  config.num_users = 80;
+  config.items_per_domain = 40;
+  config.seed = 9;
+  data::SyntheticWorld world(config);
+  data::CrossDomainDataset cross = world.MakePair("Books", "Movies");
+  Rng split_rng(1);
+  data::ColdStartSplit split = data::MakeColdStartSplit(cross, &split_rng);
+  AuxReviewGenerator generator(&cross, split.train_users);
+  Rng rng_a(7), rng_b(7);
+  EXPECT_EQ(generator.GenerateForUser(split.test_users[0], &rng_a),
+            generator.GenerateForUser(split.test_users[0], &rng_b));
+}
+
+TEST(AuxReviewTest, GenerateAllCoversEveryUser) {
+  data::SyntheticConfig config;
+  config.num_users = 80;
+  config.items_per_domain = 40;
+  config.seed = 9;
+  data::SyntheticWorld world(config);
+  data::CrossDomainDataset cross = world.MakePair("Books", "Movies");
+  Rng split_rng(1);
+  data::ColdStartSplit split = data::MakeColdStartSplit(cross, &split_rng);
+  AuxReviewGenerator generator(&cross, split.train_users);
+  Rng rng(11);
+  auto all = generator.GenerateAll(split.test_users, &rng);
+  ASSERT_EQ(all.size(), split.test_users.size());
+  // On a dense synthetic corpus nearly every cold user should get at least
+  // one auxiliary review.
+  size_t nonempty = 0;
+  for (const auto& docs : all) {
+    if (!docs.empty()) ++nonempty;
+  }
+  EXPECT_GT(nonempty, all.size() * 3 / 4);
+}
+
+TEST(AuxReviewTest, OneReviewPerUsableSourceRecord) {
+  data::SyntheticConfig config;
+  config.num_users = 100;
+  config.items_per_domain = 30;  // dense -> like-minded users plentiful
+  config.seed = 13;
+  data::SyntheticWorld world(config);
+  data::CrossDomainDataset cross = world.MakePair("Books", "Movies");
+  Rng split_rng(2);
+  data::ColdStartSplit split = data::MakeColdStartSplit(cross, &split_rng);
+  AuxReviewGenerator generator(&cross, split.train_users);
+  Rng rng(17);
+  int user = split.test_users[0];
+  AuxReviewTrace trace;
+  auto reviews = generator.GenerateForUser(user, &rng, &trace);
+  EXPECT_EQ(trace.choices.size(),
+            cross.source().RecordsOfUser(user).size());
+  EXPECT_LE(reviews.size(), trace.choices.size());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace omnimatch

@@ -1,0 +1,116 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "data/splits.h"
+#include "data/synthetic.h"
+
+namespace omnimatch {
+namespace core {
+namespace {
+
+data::SyntheticConfig TinyWorld() {
+  data::SyntheticConfig c;
+  c.num_users = 60;
+  c.items_per_domain = 30;
+  c.mean_reviews_per_user = 5;
+  c.seed = 21;
+  return c;
+}
+
+OmniMatchConfig TinyModel() {
+  OmniMatchConfig config;
+  config.embed_dim = 8;
+  config.cnn_channels = 4;
+  config.kernel_sizes = {2, 3};
+  config.feature_dim = 8;
+  config.projection_dim = 4;
+  config.doc_len = 16;
+  config.item_doc_len = 16;
+  config.batch_size = 16;
+  config.epochs = 2;
+  config.seed = 31;
+  return config;
+}
+
+TEST(SerializationTest, SaveLoadRoundTripReproducesPredictions) {
+  data::SyntheticWorld world(TinyWorld());
+  data::CrossDomainDataset cross = world.MakePair("Books", "Movies");
+  Rng rng(5);
+  data::ColdStartSplit split = data::MakeColdStartSplit(cross, &rng);
+
+  OmniMatchTrainer trained(TinyModel(), &cross, split);
+  ASSERT_TRUE(trained.Prepare().ok());
+  trained.Train();
+  std::string path = testing::TempDir() + "/omnimatch_weights.bin";
+  ASSERT_TRUE(trained.SaveWeights(path).ok());
+
+  OmniMatchTrainer fresh(TinyModel(), &cross, split);
+  ASSERT_TRUE(fresh.Prepare().ok());
+  ASSERT_TRUE(fresh.LoadWeights(path).ok());
+
+  eval::Metrics a = trained.Evaluate(split.test_users);
+  eval::Metrics b = fresh.Evaluate(split.test_users);
+  EXPECT_DOUBLE_EQ(a.rmse, b.rmse);
+  EXPECT_DOUBLE_EQ(a.mae, b.mae);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, LoadRejectsDifferentArchitecture) {
+  data::SyntheticWorld world(TinyWorld());
+  data::CrossDomainDataset cross = world.MakePair("Books", "Movies");
+  Rng rng(5);
+  data::ColdStartSplit split = data::MakeColdStartSplit(cross, &rng);
+
+  OmniMatchTrainer trained(TinyModel(), &cross, split);
+  ASSERT_TRUE(trained.Prepare().ok());
+  std::string path = testing::TempDir() + "/omnimatch_weights2.bin";
+  ASSERT_TRUE(trained.SaveWeights(path).ok());
+
+  OmniMatchConfig bigger = TinyModel();
+  bigger.feature_dim = 12;
+  OmniMatchTrainer other(bigger, &cross, split);
+  ASSERT_TRUE(other.Prepare().ok());
+  Status status = other.LoadWeights(path);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, LoadMissingFileFails) {
+  data::SyntheticWorld world(TinyWorld());
+  data::CrossDomainDataset cross = world.MakePair("Books", "Movies");
+  Rng rng(5);
+  data::ColdStartSplit split = data::MakeColdStartSplit(cross, &rng);
+  OmniMatchTrainer trainer(TinyModel(), &cross, split);
+  ASSERT_TRUE(trainer.Prepare().ok());
+  Status status = trainer.LoadWeights("/nonexistent/weights.bin");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST(SerializationTest, LoadTruncatedFileFails) {
+  data::SyntheticWorld world(TinyWorld());
+  data::CrossDomainDataset cross = world.MakePair("Books", "Movies");
+  Rng rng(5);
+  data::ColdStartSplit split = data::MakeColdStartSplit(cross, &rng);
+  OmniMatchTrainer trainer(TinyModel(), &cross, split);
+  ASSERT_TRUE(trainer.Prepare().ok());
+  std::string path = testing::TempDir() + "/omnimatch_trunc.bin";
+  ASSERT_TRUE(trainer.SaveWeights(path).ok());
+  // Truncate the file to half.
+  FILE* f = fopen(path.c_str(), "r+");
+  ASSERT_NE(f, nullptr);
+  fseek(f, 0, SEEK_END);
+  long size = ftell(f);
+  ASSERT_EQ(ftruncate(fileno(f), size / 2), 0);
+  fclose(f);
+  Status status = trainer.LoadWeights(path);
+  EXPECT_FALSE(status.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace omnimatch

@@ -1,0 +1,119 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace omnimatch {
+namespace data {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(CsvTest, RoundTripPreservesRecords) {
+  SyntheticConfig config;
+  config.num_users = 30;
+  config.items_per_domain = 20;
+  config.mean_reviews_per_user = 3;
+  SyntheticWorld world(config);
+  const DomainDataset& original = world.domain("Books");
+
+  std::string path = TempPath("books_roundtrip.tsv");
+  ASSERT_TRUE(SaveDomainTsv(original, path).ok());
+  auto loaded = LoadDomainTsv(path, "Books");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const DomainDataset& copy = loaded.value();
+  ASSERT_EQ(copy.num_reviews(), original.num_reviews());
+  for (size_t i = 0; i < copy.num_reviews(); ++i) {
+    EXPECT_EQ(copy.reviews()[i].user_id, original.reviews()[i].user_id);
+    EXPECT_EQ(copy.reviews()[i].item_id, original.reviews()[i].item_id);
+    EXPECT_EQ(copy.reviews()[i].rating, original.reviews()[i].rating);
+    EXPECT_EQ(copy.reviews()[i].summary, original.reviews()[i].summary);
+  }
+  EXPECT_EQ(copy.name(), "Books");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, SanitizesTabsAndNewlines) {
+  DomainDataset d("X");
+  Review r;
+  r.user_id = 1;
+  r.item_id = 2;
+  r.rating = 4;
+  r.summary = "line\none\ttabbed";
+  r.full_text = r.summary;
+  d.AddReview(r);
+  d.BuildIndices();
+  std::string path = TempPath("sanitize.tsv");
+  ASSERT_TRUE(SaveDomainTsv(d, path).ok());
+  auto loaded = LoadDomainTsv(path, "X");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().reviews()[0].summary, "line one tabbed");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileFails) {
+  auto loaded = LoadDomainTsv("/nonexistent/dir/file.tsv", "X");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvTest, MissingHeaderRejected) {
+  std::string path = TempPath("noheader.tsv");
+  std::ofstream(path) << "1\t2\t5\ttext\ttext\n";
+  auto loaded = LoadDomainTsv(path, "X");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MalformedRowRejectedWithLineNumber) {
+  std::string path = TempPath("badrow.tsv");
+  std::ofstream(path) << "user_id\titem_id\trating\tsummary\tfull_text\n"
+                      << "1\t2\n";
+  auto loaded = LoadDomainTsv(path, "X");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find(":2:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, OutOfRangeRatingRejected) {
+  std::string path = TempPath("badrating.tsv");
+  std::ofstream(path) << "user_id\titem_id\trating\tsummary\tfull_text\n"
+                      << "1\t2\t9\ttext\ttext\n";
+  auto loaded = LoadDomainTsv(path, "X");
+  ASSERT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, FourFieldRowUsesSummaryAsFullText) {
+  std::string path = TempPath("fourfields.tsv");
+  std::ofstream(path) << "user_id\titem_id\trating\tsummary\n"
+                      << "1\t2\t4\tshort review\n";
+  auto loaded = LoadDomainTsv(path, "X");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().reviews()[0].full_text, "short review");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, BlankLinesSkipped) {
+  std::string path = TempPath("blanks.tsv");
+  std::ofstream(path) << "user_id\titem_id\trating\tsummary\tfull_text\n"
+                      << "\n"
+                      << "1\t2\t4\ta\tb\n"
+                      << "   \n";
+  auto loaded = LoadDomainTsv(path, "X");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_reviews(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace omnimatch

@@ -1,0 +1,114 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace omnimatch {
+namespace data {
+namespace {
+
+Review MakeReview(int user, int item, float rating,
+                  const std::string& text = "t") {
+  Review r;
+  r.user_id = user;
+  r.item_id = item;
+  r.rating = rating;
+  r.summary = text;
+  r.full_text = text;
+  return r;
+}
+
+DomainDataset SmallDomain() {
+  DomainDataset d("Books");
+  d.AddReview(MakeReview(0, 10, 5));
+  d.AddReview(MakeReview(0, 11, 3));
+  d.AddReview(MakeReview(1, 10, 5));
+  d.AddReview(MakeReview(2, 10, 4));
+  d.AddReview(MakeReview(2, 11, 3));
+  d.BuildIndices();
+  return d;
+}
+
+TEST(DomainDatasetTest, UsersAndItemsSorted) {
+  DomainDataset d = SmallDomain();
+  EXPECT_EQ(d.users(), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(d.items(), (std::vector<int>{10, 11}));
+  EXPECT_EQ(d.num_reviews(), 5u);
+}
+
+TEST(DomainDatasetTest, RecordsOfUser) {
+  DomainDataset d = SmallDomain();
+  const auto& recs = d.RecordsOfUser(0);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(d.reviews()[recs[0]].item_id, 10);
+  EXPECT_EQ(d.reviews()[recs[1]].item_id, 11);
+  EXPECT_TRUE(d.RecordsOfUser(99).empty());
+}
+
+TEST(DomainDatasetTest, RecordsOfItem) {
+  DomainDataset d = SmallDomain();
+  EXPECT_EQ(d.RecordsOfItem(10).size(), 3u);
+  EXPECT_EQ(d.RecordsOfItem(11).size(), 2u);
+  EXPECT_TRUE(d.RecordsOfItem(999).empty());
+}
+
+TEST(DomainDatasetTest, UsersWhoRatedIsTheLikeMindedDictionary) {
+  DomainDataset d = SmallDomain();
+  // Users 0 and 1 both rated item 10 with 5.0 (Algorithm 1's dictionary 2).
+  const auto& like_minded = d.UsersWhoRated(10, 5.0f);
+  ASSERT_EQ(like_minded.size(), 2u);
+  EXPECT_EQ(like_minded[0], 0);
+  EXPECT_EQ(like_minded[1], 1);
+  // User 2 rated it 4.0.
+  ASSERT_EQ(d.UsersWhoRated(10, 4.0f).size(), 1u);
+  EXPECT_TRUE(d.UsersWhoRated(10, 1.0f).empty());
+  EXPECT_TRUE(d.UsersWhoRated(404, 5.0f).empty());
+}
+
+TEST(DomainDatasetTest, GlobalMeanRating) {
+  DomainDataset d = SmallDomain();
+  EXPECT_FLOAT_EQ(d.GlobalMeanRating(), (5 + 3 + 5 + 4 + 3) / 5.0f);
+  DomainDataset empty("x");
+  EXPECT_FLOAT_EQ(empty.GlobalMeanRating(), 3.0f);
+}
+
+TEST(DomainDatasetTest, MeanReviewsPerUser) {
+  DomainDataset d = SmallDomain();
+  EXPECT_DOUBLE_EQ(d.MeanReviewsPerUser(), 5.0 / 3.0);
+}
+
+TEST(DomainDatasetTest, RebuildAfterAdding) {
+  DomainDataset d = SmallDomain();
+  d.AddReview(MakeReview(3, 11, 2));
+  d.BuildIndices();
+  EXPECT_EQ(d.users().size(), 4u);
+  EXPECT_EQ(d.RecordsOfItem(11).size(), 3u);
+}
+
+TEST(CrossDomainDatasetTest, OverlapIsIntersection) {
+  DomainDataset source("Books");
+  source.AddReview(MakeReview(0, 1, 5));
+  source.AddReview(MakeReview(1, 1, 4));
+  source.AddReview(MakeReview(2, 2, 3));
+  DomainDataset target("Movies");
+  target.AddReview(MakeReview(1, 100001, 5));
+  target.AddReview(MakeReview(2, 100001, 2));
+  target.AddReview(MakeReview(9, 100002, 3));
+  CrossDomainDataset cross(std::move(source), std::move(target));
+  EXPECT_EQ(cross.overlapping_users(), (std::vector<int>{1, 2}));
+  EXPECT_EQ(cross.ScenarioName(), "Books -> Movies");
+}
+
+TEST(CrossDomainDatasetTest, RecomputeAfterMutation) {
+  DomainDataset source("A"), target("B");
+  source.AddReview(MakeReview(0, 1, 5));
+  target.AddReview(MakeReview(1, 2, 5));
+  CrossDomainDataset cross(std::move(source), std::move(target));
+  EXPECT_TRUE(cross.overlapping_users().empty());
+  cross.mutable_target().AddReview(MakeReview(0, 3, 4));
+  cross.RecomputeOverlap();
+  EXPECT_EQ(cross.overlapping_users(), (std::vector<int>{0}));
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace omnimatch

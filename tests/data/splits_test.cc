@@ -1,0 +1,127 @@
+#include "data/splits.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace omnimatch {
+namespace data {
+namespace {
+
+CrossDomainDataset SmallCross() {
+  SyntheticConfig config;
+  config.num_users = 80;
+  config.items_per_domain = 40;
+  config.mean_reviews_per_user = 4;
+  config.seed = 5;
+  SyntheticWorld world(config);
+  return world.MakePair("Books", "Movies");
+}
+
+TEST(SplitsTest, PartitionIsDisjointAndComplete) {
+  CrossDomainDataset cross = SmallCross();
+  Rng rng(1);
+  ColdStartSplit split = MakeColdStartSplit(cross, &rng);
+  std::set<int> all;
+  for (int u : split.train_users) all.insert(u);
+  for (int u : split.validation_users) all.insert(u);
+  for (int u : split.test_users) all.insert(u);
+  EXPECT_EQ(all.size(), split.train_users.size() +
+                            split.validation_users.size() +
+                            split.test_users.size());
+  EXPECT_EQ(all.size(), cross.overlapping_users().size());
+}
+
+TEST(SplitsTest, PaperProportions) {
+  CrossDomainDataset cross = SmallCross();
+  Rng rng(2);
+  ColdStartSplit split = MakeColdStartSplit(cross, &rng, 0.8);
+  size_t total = cross.overlapping_users().size();
+  EXPECT_NEAR(static_cast<double>(split.train_users.size()) / total, 0.8,
+              0.05);
+  // Cold users split in half between validation and test (±1).
+  EXPECT_LE(
+      std::abs(static_cast<long>(split.validation_users.size()) -
+               static_cast<long>(split.test_users.size())),
+      1);
+}
+
+TEST(SplitsTest, DeterministicGivenSeed) {
+  CrossDomainDataset cross = SmallCross();
+  Rng rng1(3), rng2(3);
+  ColdStartSplit a = MakeColdStartSplit(cross, &rng1);
+  ColdStartSplit b = MakeColdStartSplit(cross, &rng2);
+  EXPECT_EQ(a.train_users, b.train_users);
+  EXPECT_EQ(a.test_users, b.test_users);
+}
+
+TEST(SplitsTest, DifferentSeedsDiffer) {
+  CrossDomainDataset cross = SmallCross();
+  Rng rng1(3), rng2(4);
+  ColdStartSplit a = MakeColdStartSplit(cross, &rng1);
+  ColdStartSplit b = MakeColdStartSplit(cross, &rng2);
+  EXPECT_NE(a.train_users, b.train_users);
+}
+
+TEST(SplitsTest, SubsampleKeepsFraction) {
+  CrossDomainDataset cross = SmallCross();
+  Rng rng(5);
+  ColdStartSplit split = MakeColdStartSplit(cross, &rng);
+  ColdStartSplit half = SubsampleTrainUsers(split, 0.5, &rng);
+  EXPECT_NEAR(static_cast<double>(half.train_users.size()),
+              split.train_users.size() * 0.5, 1.0);
+  // Subsampled users are a subset of the originals.
+  for (int u : half.train_users) {
+    EXPECT_TRUE(std::binary_search(split.train_users.begin(),
+                                   split.train_users.end(), u));
+  }
+  // Cold users untouched.
+  EXPECT_EQ(half.test_users, split.test_users);
+  EXPECT_EQ(half.validation_users, split.validation_users);
+}
+
+TEST(SplitsTest, SubsampleFullFractionIsIdentity) {
+  CrossDomainDataset cross = SmallCross();
+  Rng rng(6);
+  ColdStartSplit split = MakeColdStartSplit(cross, &rng);
+  ColdStartSplit same = SubsampleTrainUsers(split, 1.0, &rng);
+  EXPECT_EQ(same.train_users, split.train_users);
+}
+
+TEST(SplitsTest, TargetRecordsOfUsersCollectsAll) {
+  CrossDomainDataset cross = SmallCross();
+  Rng rng(7);
+  ColdStartSplit split = MakeColdStartSplit(cross, &rng);
+  std::vector<int> records = TargetRecordsOfUsers(cross, split.test_users);
+  size_t expected = 0;
+  for (int u : split.test_users) {
+    expected += cross.target().RecordsOfUser(u).size();
+  }
+  EXPECT_EQ(records.size(), expected);
+  for (int idx : records) {
+    EXPECT_LT(idx, static_cast<int>(cross.target().num_reviews()));
+  }
+}
+
+// Property sweep: the split respects any train fraction.
+class SplitFractionTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SplitFractionTest, FractionRespected) {
+  CrossDomainDataset cross = SmallCross();
+  Rng rng(11);
+  ColdStartSplit split = MakeColdStartSplit(cross, &rng, GetParam());
+  size_t total = cross.overlapping_users().size();
+  EXPECT_NEAR(static_cast<double>(split.train_users.size()) / total,
+              GetParam(), 0.06);
+  EXPECT_GE(split.test_users.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, SplitFractionTest,
+                         ::testing::Values(0.5, 0.6, 0.7, 0.8, 0.9));
+
+}  // namespace
+}  // namespace data
+}  // namespace omnimatch

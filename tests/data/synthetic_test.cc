@@ -1,0 +1,176 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "text/tokenizer.h"
+
+namespace omnimatch {
+namespace data {
+namespace {
+
+SyntheticConfig TinyConfig(uint64_t seed = 42) {
+  SyntheticConfig c;
+  c.num_users = 60;
+  c.items_per_domain = 40;
+  c.mean_reviews_per_user = 5;
+  c.seed = seed;
+  return c;
+}
+
+TEST(SyntheticTest, GeneratesAllDomains) {
+  SyntheticWorld world(TinyConfig());
+  EXPECT_EQ(world.domain_names().size(), 3u);
+  for (const auto& name : world.domain_names()) {
+    EXPECT_GT(world.domain(name).num_reviews(), 0u);
+  }
+}
+
+TEST(SyntheticTest, DeterministicGivenSeed) {
+  SyntheticWorld a(TinyConfig(7)), b(TinyConfig(7));
+  const auto& ra = a.domain("Books").reviews();
+  const auto& rb = b.domain("Books").reviews();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].user_id, rb[i].user_id);
+    EXPECT_EQ(ra[i].item_id, rb[i].item_id);
+    EXPECT_EQ(ra[i].rating, rb[i].rating);
+    EXPECT_EQ(ra[i].summary, rb[i].summary);
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticWorld a(TinyConfig(7)), b(TinyConfig(8));
+  EXPECT_NE(a.domain("Books").reviews()[0].summary,
+            b.domain("Books").reviews()[0].summary);
+}
+
+TEST(SyntheticTest, RatingsInRange) {
+  SyntheticWorld world(TinyConfig());
+  for (const auto& name : world.domain_names()) {
+    for (const Review& r : world.domain(name).reviews()) {
+      EXPECT_GE(r.rating, 1.0f);
+      EXPECT_LE(r.rating, 5.0f);
+      EXPECT_EQ(r.rating, std::round(r.rating)) << "integer star ratings";
+    }
+  }
+}
+
+TEST(SyntheticTest, ItemIdsNamespacedPerDomain) {
+  SyntheticWorld world(TinyConfig());
+  std::set<int> books_items(world.domain("Books").items().begin(),
+                            world.domain("Books").items().end());
+  for (int item : world.domain("Movies").items()) {
+    EXPECT_EQ(books_items.count(item), 0u) << "item id collision " << item;
+  }
+}
+
+TEST(SyntheticTest, UsersReviewEachItemAtMostOnce) {
+  SyntheticWorld world(TinyConfig());
+  const DomainDataset& d = world.domain("Music");
+  for (int u : d.users()) {
+    std::set<int> items;
+    for (int idx : d.RecordsOfUser(u)) {
+      EXPECT_TRUE(items.insert(d.reviews()[idx].item_id).second)
+          << "duplicate item for user " << u;
+    }
+  }
+}
+
+TEST(SyntheticTest, SummariesWithinConfiguredLength) {
+  SyntheticConfig c = TinyConfig();
+  SyntheticWorld world(c);
+  for (const Review& r : world.domain("Books").reviews()) {
+    auto toks = text::Tokenize(r.summary);
+    EXPECT_GE(static_cast<int>(toks.size()), c.summary_len_min);
+    EXPECT_LE(static_cast<int>(toks.size()), c.summary_len_max);
+  }
+}
+
+TEST(SyntheticTest, FullTextLongerThanSummary) {
+  SyntheticWorld world(TinyConfig());
+  size_t longer = 0, total = 0;
+  for (const Review& r : world.domain("Books").reviews()) {
+    ++total;
+    if (r.full_text.size() > r.summary.size()) ++longer;
+  }
+  EXPECT_GT(longer, total * 9 / 10);
+}
+
+TEST(SyntheticTest, CrossDomainPairHasOverlap) {
+  SyntheticWorld world(TinyConfig());
+  CrossDomainDataset cross = world.MakePair("Books", "Movies");
+  EXPECT_GT(cross.overlapping_users().size(), 10u);
+}
+
+TEST(SyntheticTest, SelectionEffectRaisesObservedAffinity) {
+  // Users pick items they like: observed mean rating must exceed what the
+  // intercept alone would give under uniform selection.
+  SyntheticConfig with_sel = TinyConfig();
+  with_sel.num_users = 150;
+  with_sel.selection_gain = 1.5;
+  SyntheticConfig without_sel = with_sel;
+  without_sel.selection_gain = 0.0;
+  SyntheticWorld sel_world(with_sel);
+  SyntheticWorld uni_world(without_sel);
+  EXPECT_GT(sel_world.domain("Books").GlobalMeanRating(),
+            uni_world.domain("Books").GlobalMeanRating() + 0.05f);
+}
+
+TEST(SyntheticTest, DomainVocabulariesAreDistinctForTopics) {
+  // Topic surface words differ across domains (vampireb0 vs vampirem0),
+  // while sentiment words are shared.
+  SyntheticWorld world(TinyConfig());
+  std::set<std::string> books_tokens, movies_tokens;
+  for (const Review& r : world.domain("Books").reviews()) {
+    for (auto& t : text::Tokenize(r.summary)) books_tokens.insert(t);
+  }
+  for (const Review& r : world.domain("Movies").reviews()) {
+    for (auto& t : text::Tokenize(r.summary)) movies_tokens.insert(t);
+  }
+  bool books_topic_in_movies = false;
+  for (const auto& t : books_tokens) {
+    if (t.rfind("vampireb", 0) == 0 && movies_tokens.count(t)) {
+      books_topic_in_movies = true;
+    }
+  }
+  EXPECT_FALSE(books_topic_in_movies);
+  // Sentiment vocabulary is shared: at least one "superb*" token in both.
+  auto has_superb = [](const std::set<std::string>& toks) {
+    for (const auto& t : toks) {
+      if (t.rfind("superb", 0) == 0) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_superb(books_tokens));
+  EXPECT_TRUE(has_superb(movies_tokens));
+}
+
+TEST(SyntheticTest, UserPreferenceAccessibleAndStable) {
+  SyntheticWorld world(TinyConfig());
+  const auto& p = world.UserPreference(3);
+  EXPECT_EQ(static_cast<int>(p.size()), world.config().latent_dim);
+}
+
+TEST(SyntheticTest, PresetsDiffer) {
+  SyntheticConfig amazon = SyntheticConfig::AmazonLike();
+  SyntheticConfig douban = SyntheticConfig::DoubanLike();
+  // Douban is the sparser corpus with stronger taste-driven ratings.
+  EXPECT_GT(amazon.mean_reviews_per_user, douban.mean_reviews_per_user);
+  EXPECT_GT(amazon.num_users, douban.num_users);
+  EXPECT_LT(amazon.affinity_scale, douban.affinity_scale);
+}
+
+TEST(SyntheticTest, ParticipationControlsDomainMembership) {
+  SyntheticConfig c = TinyConfig();
+  c.participation = 1.0;
+  SyntheticWorld world(c);
+  EXPECT_EQ(world.domain("Books").users().size(),
+            static_cast<size_t>(c.num_users));
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace omnimatch

@@ -1,0 +1,74 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+namespace omnimatch {
+namespace eval {
+namespace {
+
+TEST(MetricsTest, PerfectPredictionsAreZero) {
+  Metrics m = ComputeMetrics({1, 2, 3}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(m.rmse, 0.0);
+  EXPECT_DOUBLE_EQ(m.mae, 0.0);
+  EXPECT_EQ(m.count, 3);
+}
+
+TEST(MetricsTest, KnownValues) {
+  // Errors: +1, -1 -> RMSE 1, MAE 1.
+  Metrics m = ComputeMetrics({3, 1}, {2, 2});
+  EXPECT_DOUBLE_EQ(m.rmse, 1.0);
+  EXPECT_DOUBLE_EQ(m.mae, 1.0);
+}
+
+TEST(MetricsTest, RmseAtLeastMae) {
+  Metrics m = ComputeMetrics({1, 5, 3}, {2, 2, 3});
+  EXPECT_GE(m.rmse, m.mae);
+}
+
+TEST(MetricsTest, RmsePenalizesOutliersMore) {
+  // Same MAE, different RMSE.
+  Metrics spread = ComputeMetrics({0, 4}, {2, 2});   // errors 2, 2
+  Metrics outlier = ComputeMetrics({2, 6}, {2, 2});  // errors 0, 4
+  EXPECT_DOUBLE_EQ(spread.mae, outlier.mae);
+  EXPECT_LT(spread.rmse, outlier.rmse);
+}
+
+TEST(MetricsAccumulatorTest, MatchesBatchComputation) {
+  MetricsAccumulator acc;
+  acc.Add(1.5f, 2.0f);
+  acc.Add(4.0f, 3.0f);
+  acc.Add(2.5f, 2.5f);
+  Metrics streaming = acc.Finalize();
+  Metrics batch = ComputeMetrics({1.5f, 4.0f, 2.5f}, {2.0f, 3.0f, 2.5f});
+  EXPECT_NEAR(streaming.rmse, batch.rmse, 1e-12);
+  EXPECT_NEAR(streaming.mae, batch.mae, 1e-12);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  AsciiTable table;
+  table.SetHeader({"Method", "RMSE"});
+  table.AddRow({"OmniMatch", "1.031"});
+  table.AddRow({"x", "2"});
+  std::string out = table.Render();
+  EXPECT_NE(out.find("| Method    | RMSE  |"), std::string::npos);
+  EXPECT_NE(out.find("| OmniMatch | 1.031 |"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("+-----------+-------+"), std::string::npos);
+}
+
+TEST(TableTest, FormatMetricThreeDecimals) {
+  EXPECT_EQ(FormatMetric(1.0307), "1.031");
+  EXPECT_EQ(FormatMetric(0.7), "0.700");
+}
+
+TEST(TableTest, FormatDeltaSigned) {
+  EXPECT_EQ(StrFormatDelta(5.66), "+5.7%");
+  EXPECT_EQ(StrFormatDelta(-1.24), "-1.2%");
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace omnimatch

@@ -1,0 +1,155 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/bipartite.h"
+#include "graph/propagate.h"
+#include "nn/grad_check.h"
+#include "nn/ops.h"
+
+namespace omnimatch {
+namespace graph {
+namespace {
+
+// 2 users, 2 items; user0-item0, user0-item1, user1-item0.
+InteractionGraph SmallGraph() {
+  return InteractionGraph(2, 2, {{0, 0}, {0, 1}, {1, 0}});
+}
+
+TEST(InteractionGraphTest, NodeLayoutAndDegrees) {
+  InteractionGraph g = SmallGraph();
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.Degree(0), 2);  // user0
+  EXPECT_EQ(g.Degree(1), 1);  // user1
+  EXPECT_EQ(g.Degree(2), 2);  // item0
+  EXPECT_EQ(g.Degree(3), 1);  // item1
+}
+
+TEST(InteractionGraphTest, DuplicateEdgesCoalesced) {
+  InteractionGraph g(1, 1, {{0, 0}, {0, 0}, {0, 0}});
+  EXPECT_EQ(g.Degree(0), 1);
+  EXPECT_EQ(g.normalized_adjacency().nnz(), 2u);
+}
+
+TEST(InteractionGraphTest, SymmetricNormalization) {
+  InteractionGraph g = SmallGraph();
+  const Csr& adj = g.normalized_adjacency();
+  // Edge (user0, item0): 1/sqrt(2*2) = 0.5.
+  // Find it in user0's row.
+  bool found = false;
+  for (int e = adj.row_ptr[0]; e < adj.row_ptr[1]; ++e) {
+    if (adj.col_idx[static_cast<size_t>(e)] == 2) {
+      EXPECT_NEAR(adj.values[static_cast<size_t>(e)], 0.5f, 1e-6);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(InteractionGraphTest, AdjacencyIsSymmetric) {
+  InteractionGraph g = SmallGraph();
+  const Csr& adj = g.normalized_adjacency();
+  Csr t = Transpose(adj);
+  ASSERT_EQ(t.nnz(), adj.nnz());
+  for (int r = 0; r < adj.rows; ++r) {
+    for (int e = adj.row_ptr[static_cast<size_t>(r)];
+         e < adj.row_ptr[static_cast<size_t>(r) + 1]; ++e) {
+      EXPECT_EQ(t.col_idx[static_cast<size_t>(e)],
+                adj.col_idx[static_cast<size_t>(e)]);
+      EXPECT_FLOAT_EQ(t.values[static_cast<size_t>(e)],
+                      adj.values[static_cast<size_t>(e)]);
+    }
+  }
+}
+
+TEST(SpMvTest, HandComputed) {
+  // adj = [[0, 1], [1, 0]] (identity-swapped), x = [[1, 2], [3, 4]].
+  Csr adj;
+  adj.rows = 2;
+  adj.cols = 2;
+  adj.row_ptr = {0, 1, 2};
+  adj.col_idx = {1, 0};
+  adj.values = {1.0f, 1.0f};
+  std::vector<float> x = {1, 2, 3, 4};
+  std::vector<float> y(4, 0.0f);
+  SpMv(adj, x.data(), 2, y.data());
+  EXPECT_FLOAT_EQ(y[0], 3);
+  EXPECT_FLOAT_EQ(y[1], 4);
+  EXPECT_FLOAT_EQ(y[2], 1);
+  EXPECT_FLOAT_EQ(y[3], 2);
+}
+
+TEST(TransposeTest, NonSymmetricMatrix) {
+  // [[a, b], [0, c]] -> [[a, 0], [b, c]].
+  Csr m;
+  m.rows = 2;
+  m.cols = 2;
+  m.row_ptr = {0, 2, 3};
+  m.col_idx = {0, 1, 1};
+  m.values = {1.0f, 2.0f, 3.0f};
+  Csr t = Transpose(m);
+  EXPECT_EQ(t.row_ptr, (std::vector<int>{0, 1, 3}));
+  EXPECT_EQ(t.col_idx, (std::vector<int>{0, 0, 1}));
+  EXPECT_FLOAT_EQ(t.values[0], 1.0f);
+  EXPECT_FLOAT_EQ(t.values[1], 2.0f);
+  EXPECT_FLOAT_EQ(t.values[2], 3.0f);
+}
+
+TEST(SparseMatMulTest, MatchesDenseProduct) {
+  InteractionGraph g = SmallGraph();
+  auto adj = std::make_shared<Csr>(g.normalized_adjacency());
+  Rng rng(1);
+  nn::Tensor x = nn::Tensor::Zeros({4, 3});
+  for (float& v : x.data()) v = rng.UniformFloat(-1, 1);
+  nn::Tensor y = SparseMatMul(adj, x);
+  // Dense reference.
+  std::vector<float> dense(16, 0.0f);
+  for (int r = 0; r < 4; ++r) {
+    for (int e = adj->row_ptr[static_cast<size_t>(r)];
+         e < adj->row_ptr[static_cast<size_t>(r) + 1]; ++e) {
+      dense[static_cast<size_t>(r) * 4 +
+            adj->col_idx[static_cast<size_t>(e)]] =
+          adj->values[static_cast<size_t>(e)];
+    }
+  }
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      float expect = 0.0f;
+      for (int k = 0; k < 4; ++k) {
+        expect += dense[static_cast<size_t>(r) * 4 + k] * x.At(k, c);
+      }
+      EXPECT_NEAR(y.At(r, c), expect, 1e-5);
+    }
+  }
+}
+
+TEST(SparseMatMulTest, GradientMatchesFiniteDifference) {
+  InteractionGraph g = SmallGraph();
+  auto adj = std::make_shared<Csr>(g.normalized_adjacency());
+  Rng rng(2);
+  nn::Tensor x = nn::Tensor::Zeros({4, 2}, /*requires_grad=*/true);
+  for (float& v : x.data()) v = rng.UniformFloat(-1, 1);
+  auto f = [&] {
+    nn::Tensor y = SparseMatMul(adj, x);
+    return nn::SumAll(nn::Mul(y, y));
+  };
+  EXPECT_LT(nn::MaxGradError(f, x), 2e-2);
+}
+
+TEST(SparseMatMulTest, TwoLayerPropagationGradient) {
+  InteractionGraph g = SmallGraph();
+  auto adj = std::make_shared<Csr>(g.normalized_adjacency());
+  Rng rng(3);
+  nn::Tensor x = nn::Tensor::Zeros({4, 2}, /*requires_grad=*/true);
+  for (float& v : x.data()) v = rng.UniformFloat(-1, 1);
+  auto f = [&] {
+    nn::Tensor y = SparseMatMul(adj, SparseMatMul(adj, x));
+    return nn::SumAll(nn::Mul(y, y));
+  };
+  EXPECT_LT(nn::MaxGradError(f, x), 2e-2);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace omnimatch

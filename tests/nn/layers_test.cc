@@ -1,0 +1,195 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/grad_check.h"
+#include "nn/losses.h"
+#include "nn/ops.h"
+
+namespace omnimatch {
+namespace nn {
+namespace {
+
+TEST(LinearTest, OutputShape) {
+  Rng rng(1);
+  Linear l(4, 3, &rng);
+  Tensor x = Tensor::Zeros({2, 4});
+  Tensor y = l.Forward(x);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 3);
+}
+
+TEST(LinearTest, ZeroInputGivesBias) {
+  Rng rng(2);
+  Linear l(3, 2, &rng);
+  // Bias starts at zero, so zero input -> zero output.
+  Tensor y = l.Forward(Tensor::Zeros({1, 3}));
+  for (float v : y.data()) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(LinearTest, HasTwoParameters) {
+  Rng rng(3);
+  Linear l(5, 7, &rng);
+  auto params = l.Parameters();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].numel(), 35);
+  EXPECT_EQ(params[1].numel(), 7);
+  EXPECT_EQ(l.NumParameters(), 42);
+}
+
+TEST(LinearTest, GradientFlowsToWeights) {
+  Rng rng(4);
+  Linear l(3, 2, &rng);
+  Tensor x = Tensor::FromData({1, 3}, {1, 2, 3});
+  Tensor loss = SumAll(Mul(l.Forward(x), l.Forward(x)));
+  loss.Backward();
+  bool any_nonzero = false;
+  for (float g : l.Parameters()[0].grad()) {
+    if (g != 0.0f) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(MlpTest, ForwardShapeMultiLayer) {
+  Rng rng(5);
+  Mlp mlp({8, 16, 4}, 0.0f, &rng);
+  Tensor y = mlp.Forward(Tensor::Zeros({3, 8}));
+  EXPECT_EQ(y.dim(0), 3);
+  EXPECT_EQ(y.dim(1), 4);
+}
+
+TEST(MlpTest, ParameterCount) {
+  Rng rng(6);
+  Mlp mlp({8, 16, 4}, 0.0f, &rng);
+  // (8*16 + 16) + (16*4 + 4) = 144 + 68
+  EXPECT_EQ(mlp.NumParameters(), 212);
+}
+
+TEST(MlpTest, DropoutOnlyInTraining) {
+  Rng rng(7);
+  Mlp mlp({4, 32, 2}, 0.9f, &rng);
+  Tensor x = Tensor::FromData({1, 4}, {1, 1, 1, 1});
+  mlp.set_training(false);
+  Tensor y1 = mlp.Forward(x);
+  Tensor y2 = mlp.Forward(x);
+  // Eval mode: deterministic.
+  for (int i = 0; i < 2; ++i) EXPECT_FLOAT_EQ(y1.data()[i], y2.data()[i]);
+}
+
+TEST(MlpTest, GradCheckSmall) {
+  Rng rng(8);
+  Mlp mlp({3, 5, 2}, 0.0f, &rng);
+  Tensor x = Tensor::FromData({2, 3}, {0.1f, -0.2f, 0.3f, 0.7f, 0.2f, -0.5f},
+                              true);
+  auto f = [&] {
+    Tensor y = mlp.Forward(x);
+    return SumAll(Mul(y, y));
+  };
+  EXPECT_LT(MaxGradError(f, x), 2e-2);
+}
+
+TEST(EmbeddingTableTest, LookupShape) {
+  Rng rng(9);
+  EmbeddingTable emb(10, 4, &rng);
+  Tensor y = emb.Forward({1, 5, 1});
+  EXPECT_EQ(y.dim(0), 3);
+  EXPECT_EQ(y.dim(1), 4);
+  // Repeated id yields identical rows.
+  for (int c = 0; c < 4; ++c) EXPECT_FLOAT_EQ(y.At(0, c), y.At(2, c));
+}
+
+TEST(EmbeddingTableTest, FrozenStopsGradient) {
+  Rng rng(10);
+  EmbeddingTable emb(6, 3, &rng);
+  emb.set_frozen(true);
+  Tensor y = emb.Forward({0, 1});
+  EXPECT_FALSE(y.requires_grad());
+  emb.set_frozen(false);
+  EXPECT_TRUE(emb.Forward({0, 1}).requires_grad());
+}
+
+TEST(EmbeddingTableTest, TrainingMovesOnlyTouchedRows) {
+  Rng rng(11);
+  EmbeddingTable emb(5, 2, &rng);
+  Tensor before = emb.table().DetachCopy();
+  Tensor out = emb.Forward({1, 3});
+  SumAll(Mul(out, out)).Backward();
+  // Rows 0, 2, 4 were untouched: zero grad.
+  for (int r : {0, 2, 4}) {
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_FLOAT_EQ(emb.table().grad()[r * 2 + c], 0.0f);
+    }
+  }
+}
+
+TEST(TextCnnTest, OutputDimIsChannelsTimesKernels) {
+  Rng rng(12);
+  TextCnn cnn(8, 6, {3, 4, 5}, &rng);
+  EXPECT_EQ(cnn.output_dim(), 18);
+  Tensor x = Tensor::Zeros({2, 10, 8});
+  Tensor y = cnn.Forward(x);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 18);
+}
+
+TEST(TextCnnTest, GradCheckThroughCnn) {
+  Rng rng(13);
+  TextCnn cnn(3, 2, {2, 3}, &rng);
+  Tensor x = Tensor::Zeros({1, 5, 3}, true);
+  Rng data_rng(14);
+  for (float& v : x.data()) v = data_rng.UniformFloat(-1.0f, 1.0f);
+  auto f = [&] {
+    Tensor y = cnn.Forward(x);
+    return SumAll(Mul(y, y));
+  };
+  EXPECT_LT(MaxGradError(f, x), 2e-2);
+}
+
+TEST(TextCnnTest, SingleKernelNoConcat) {
+  Rng rng(15);
+  TextCnn cnn(4, 3, {2}, &rng);
+  Tensor y = cnn.Forward(Tensor::Zeros({1, 6, 4}));
+  EXPECT_EQ(y.dim(1), 3);
+}
+
+TEST(MiniTransformerTest, ForwardDocShape) {
+  Rng rng(16);
+  MiniTransformerEncoder enc(8, 5, &rng);
+  Tensor doc = Tensor::Zeros({7, 8});
+  Tensor y = enc.ForwardDoc(doc);
+  EXPECT_EQ(y.dim(0), 1);
+  EXPECT_EQ(y.dim(1), 5);
+}
+
+TEST(MiniTransformerTest, BatchForwardStacksRows) {
+  Rng rng(17);
+  MiniTransformerEncoder enc(4, 3, &rng);
+  std::vector<Tensor> docs = {Tensor::Zeros({5, 4}), Tensor::Zeros({6, 4})};
+  Tensor y = enc.Forward(docs);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 3);
+}
+
+TEST(MiniTransformerTest, GradFlowsToAllProjections) {
+  Rng rng(18);
+  MiniTransformerEncoder enc(4, 3, &rng);
+  Tensor doc = Tensor::Zeros({5, 4});
+  Rng data_rng(19);
+  for (float& v : doc.data()) v = data_rng.UniformFloat(-1.0f, 1.0f);
+  Tensor y = enc.ForwardDoc(doc);
+  SumAll(Mul(y, y)).Backward();
+  for (const Tensor& p : enc.Parameters()) {
+    bool any = false;
+    for (float g : p.grad()) {
+      if (g != 0.0f) any = true;
+    }
+    // Output-layer bias always gets gradient; weight matrices should too for
+    // a random doc (ReLU may rarely kill everything, but not with 3 outputs).
+    EXPECT_TRUE(any || p.numel() == 3);
+  }
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace omnimatch

@@ -1,0 +1,164 @@
+#include "nn/losses.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/grad_check.h"
+#include "nn/ops.h"
+
+namespace omnimatch {
+namespace nn {
+namespace {
+
+constexpr double kGradTol = 2e-2;
+
+Tensor RandomTensor(std::vector<int> shape, Rng* rng,
+                    bool requires_grad = true) {
+  Tensor t = Tensor::Zeros(std::move(shape), requires_grad);
+  for (float& v : t.data()) v = rng->UniformFloat(-1.0f, 1.0f);
+  return t;
+}
+
+// ---------- SoftmaxCrossEntropy ----------
+
+TEST(CrossEntropyTest, UniformLogitsGiveLogC) {
+  Tensor logits = Tensor::Zeros({2, 4});
+  Tensor loss = SoftmaxCrossEntropy(logits, {0, 3});
+  EXPECT_NEAR(loss.ScalarValue(), std::log(4.0f), 1e-5);
+}
+
+TEST(CrossEntropyTest, ConfidentCorrectIsSmall) {
+  Tensor logits = Tensor::FromData({1, 3}, {10, 0, 0});
+  Tensor loss = SoftmaxCrossEntropy(logits, {0});
+  EXPECT_LT(loss.ScalarValue(), 1e-3f);
+}
+
+TEST(CrossEntropyTest, ConfidentWrongIsLarge) {
+  Tensor logits = Tensor::FromData({1, 3}, {10, 0, 0});
+  Tensor loss = SoftmaxCrossEntropy(logits, {2});
+  EXPECT_GT(loss.ScalarValue(), 5.0f);
+}
+
+TEST(CrossEntropyTest, GradientMatchesFiniteDifference) {
+  Rng rng(31);
+  Tensor logits = RandomTensor({4, 5}, &rng);
+  std::vector<int> labels = {0, 2, 4, 2};
+  auto f = [&] { return SoftmaxCrossEntropy(logits, labels); };
+  EXPECT_LT(MaxGradError(f, logits), kGradTol);
+}
+
+TEST(CrossEntropyTest, GradientSumsToZeroPerRow) {
+  // d/dlogits of CE is (p - onehot)/B; each row sums to zero.
+  Rng rng(32);
+  Tensor logits = RandomTensor({3, 4}, &rng);
+  SoftmaxCrossEntropy(logits, {1, 0, 3}).Backward();
+  for (int r = 0; r < 3; ++r) {
+    float sum = 0.0f;
+    for (int c = 0; c < 4; ++c) sum += logits.grad()[r * 4 + c];
+    EXPECT_NEAR(sum, 0.0f, 1e-6);
+  }
+}
+
+// ---------- MseLoss ----------
+
+TEST(MseTest, ZeroWhenEqual) {
+  Tensor pred = Tensor::FromData({3}, {1, 2, 3});
+  EXPECT_FLOAT_EQ(MseLoss(pred, {1, 2, 3}).ScalarValue(), 0.0f);
+}
+
+TEST(MseTest, KnownValue) {
+  Tensor pred = Tensor::FromData({2}, {0, 0});
+  // ((0-1)^2 + (0-3)^2)/2 = 5
+  EXPECT_FLOAT_EQ(MseLoss(pred, {1, 3}).ScalarValue(), 5.0f);
+}
+
+TEST(MseTest, GradientMatchesFiniteDifference) {
+  Rng rng(33);
+  Tensor pred = RandomTensor({6}, &rng);
+  std::vector<float> target = {0.5f, -0.5f, 1.0f, 0.0f, 2.0f, -1.0f};
+  EXPECT_LT(MaxGradError([&] { return MseLoss(pred, target); }, pred),
+            kGradTol);
+}
+
+// ---------- SupConLoss ----------
+
+TEST(SupConTest, NoPositivesYieldsZeroConstant) {
+  Rng rng(34);
+  Tensor feats = RandomTensor({3, 4}, &rng);
+  Tensor loss = SupConLoss(feats, {0, 1, 2}, 0.07f);
+  EXPECT_FLOAT_EQ(loss.ScalarValue(), 0.0f);
+  EXPECT_FALSE(loss.requires_grad());
+}
+
+TEST(SupConTest, LowerWhenSameLabelFeaturesCluster) {
+  // Clustered: same-label rows nearly identical.
+  Tensor clustered = Tensor::FromData(
+      {4, 2}, {1, 0, 0.99f, 0.01f, 0, 1, 0.01f, 0.99f});
+  // Mixed: same-label rows orthogonal to each other.
+  Tensor mixed = Tensor::FromData(
+      {4, 2}, {1, 0, 0, 1, 1, 0, 0, 1});
+  std::vector<int> labels = {0, 0, 1, 1};
+  float l_clustered = SupConLoss(clustered, labels, 0.07f).ScalarValue();
+  float l_mixed = SupConLoss(mixed, labels, 0.07f).ScalarValue();
+  EXPECT_LT(l_clustered, l_mixed);
+}
+
+TEST(SupConTest, GradientMatchesFiniteDifference) {
+  Rng rng(35);
+  Tensor feats = RandomTensor({6, 4}, &rng);
+  std::vector<int> labels = {0, 1, 0, 2, 1, 0};
+  auto f = [&] { return SupConLoss(feats, labels, 0.2f); };
+  EXPECT_LT(MaxGradError(f, feats), kGradTol);
+}
+
+TEST(SupConTest, GradientWithSomeAnchorsLackingPositives) {
+  Rng rng(36);
+  Tensor feats = RandomTensor({5, 3}, &rng);
+  std::vector<int> labels = {0, 0, 1, 2, 3};  // anchors 2..4 have no positive
+  auto f = [&] { return SupConLoss(feats, labels, 0.1f); };
+  EXPECT_LT(MaxGradError(f, feats), kGradTol);
+}
+
+TEST(SupConTest, ScaleInvarianceFromNormalization) {
+  // Internal L2 normalization makes the loss invariant to row scaling.
+  Rng rng(37);
+  Tensor feats = RandomTensor({4, 3}, &rng, false);
+  Tensor scaled = Tensor::FromData(feats.shape(), feats.data());
+  for (float& v : scaled.data()) v *= 7.5f;
+  std::vector<int> labels = {0, 1, 0, 1};
+  EXPECT_NEAR(SupConLoss(feats, labels, 0.07f).ScalarValue(),
+              SupConLoss(scaled, labels, 0.07f).ScalarValue(), 1e-4);
+}
+
+TEST(SupConTest, GradientDescentReducesLoss) {
+  Rng rng(38);
+  Tensor feats = RandomTensor({8, 4}, &rng);
+  std::vector<int> labels = {0, 1, 0, 1, 0, 1, 0, 1};
+  float initial = SupConLoss(feats, labels, 0.1f).ScalarValue();
+  for (int step = 0; step < 50; ++step) {
+    feats.ZeroGrad();
+    Tensor loss = SupConLoss(feats, labels, 0.1f);
+    loss.Backward();
+    for (size_t i = 0; i < feats.data().size(); ++i) {
+      feats.data()[i] -= 0.1f * feats.grad()[i];
+    }
+  }
+  float final = SupConLoss(feats, labels, 0.1f).ScalarValue();
+  EXPECT_LT(final, initial);
+}
+
+TEST(SupConTest, TemperatureSharpensLoss) {
+  Rng rng(39);
+  Tensor feats = RandomTensor({6, 4}, &rng, false);
+  std::vector<int> labels = {0, 0, 1, 1, 2, 2};
+  float lo = SupConLoss(feats, labels, 0.05f).ScalarValue();
+  float hi = SupConLoss(feats, labels, 5.0f).ScalarValue();
+  // With near-random features, low temperature amplifies mismatch penalties.
+  EXPECT_GT(lo, hi);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace omnimatch

@@ -1,0 +1,159 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/losses.h"
+#include "nn/ops.h"
+
+namespace omnimatch {
+namespace nn {
+namespace {
+
+// Quadratic bowl: loss = sum((x - target)^2). All optimizers must descend.
+float QuadraticLoss(Tensor& x, const std::vector<float>& target,
+                    bool backward) {
+  x.ZeroGrad();
+  Tensor loss = MseLoss(x, target);
+  if (backward) loss.Backward();
+  return loss.ScalarValue();
+}
+
+TEST(SgdTest, DescendsQuadratic) {
+  Tensor x = Tensor::FromData({3}, {5, -3, 2}, true);
+  std::vector<float> target = {1, 1, 1};
+  Sgd opt({x}, /*lr=*/0.1f);
+  float first = QuadraticLoss(x, target, true);
+  for (int i = 0; i < 100; ++i) {
+    opt.Step();
+    QuadraticLoss(x, target, true);
+  }
+  float last = QuadraticLoss(x, target, false);
+  EXPECT_LT(last, 1e-4f);
+  EXPECT_LT(last, first);
+}
+
+TEST(SgdTest, MomentumAcceleratesOnConsistentGradient) {
+  Tensor a = Tensor::FromData({1}, {10}, true);
+  Tensor b = Tensor::FromData({1}, {10}, true);
+  Sgd plain({a}, 0.01f, 0.0f);
+  Sgd momentum({b}, 0.01f, 0.9f);
+  std::vector<float> target = {0};
+  for (int i = 0; i < 20; ++i) {
+    QuadraticLoss(a, target, true);
+    plain.Step();
+    QuadraticLoss(b, target, true);
+    momentum.Step();
+  }
+  EXPECT_LT(std::abs(b.data()[0]), std::abs(a.data()[0]));
+}
+
+TEST(SgdTest, WeightDecayShrinksParameters) {
+  Tensor x = Tensor::FromData({1}, {1.0f}, true);
+  Sgd opt({x}, 0.1f, 0.0f, /*weight_decay=*/0.5f);
+  x.ZeroGrad();  // zero gradient; only decay acts
+  opt.Step();
+  EXPECT_NEAR(x.data()[0], 1.0f - 0.1f * 0.5f, 1e-6);
+}
+
+TEST(AdamTest, DescendsQuadratic) {
+  Tensor x = Tensor::FromData({4}, {3, -4, 5, -6}, true);
+  std::vector<float> target = {0, 0, 0, 0};
+  Adam opt({x}, 0.1f);
+  for (int i = 0; i < 300; ++i) {
+    QuadraticLoss(x, target, true);
+    opt.Step();
+  }
+  EXPECT_LT(QuadraticLoss(x, target, false), 1e-3f);
+}
+
+TEST(AdadeltaTest, DescendsQuadratic) {
+  Tensor x = Tensor::FromData({2}, {4, -4}, true);
+  std::vector<float> target = {0, 0};
+  Adadelta opt({x}, /*lr=*/1.0f);
+  float first = QuadraticLoss(x, target, true);
+  for (int i = 0; i < 500; ++i) {
+    QuadraticLoss(x, target, true);
+    opt.Step();
+  }
+  float last = QuadraticLoss(x, target, false);
+  EXPECT_LT(last, first * 0.5f);
+}
+
+TEST(OptimizerTest, ZeroGradClearsAllParams) {
+  Tensor x = Tensor::FromData({2}, {1, 2}, true);
+  Tensor y = Tensor::FromData({2}, {3, 4}, true);
+  SumAll(Add(x, y)).Backward();
+  Sgd opt({x, y}, 0.1f);
+  opt.ZeroGrad();
+  for (float g : x.grad()) EXPECT_FLOAT_EQ(g, 0.0f);
+  for (float g : y.grad()) EXPECT_FLOAT_EQ(g, 0.0f);
+}
+
+TEST(OptimizerTest, ClipGradNormScalesDown) {
+  Tensor x = Tensor::FromData({2}, {0, 0}, true);
+  x.grad()[0] = 3.0f;
+  x.grad()[1] = 4.0f;  // norm 5
+  Sgd opt({x}, 0.1f);
+  opt.ClipGradNorm(1.0f);
+  float norm = std::sqrt(x.grad()[0] * x.grad()[0] +
+                         x.grad()[1] * x.grad()[1]);
+  EXPECT_NEAR(norm, 1.0f, 1e-4);
+}
+
+TEST(OptimizerTest, ClipGradNormNoOpBelowThreshold) {
+  Tensor x = Tensor::FromData({2}, {0, 0}, true);
+  x.grad()[0] = 0.3f;
+  x.grad()[1] = 0.4f;  // norm 0.5
+  Sgd opt({x}, 0.1f);
+  opt.ClipGradNorm(1.0f);
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.3f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 0.4f);
+}
+
+TEST(TrainingIntegrationTest, LinearRegressionConverges) {
+  // Fit y = 2x + 1 with a 1-unit Linear layer trained by Adam.
+  Rng rng(42);
+  Linear model(1, 1, &rng);
+  Adam opt(model.Parameters(), 0.05f);
+  std::vector<float> xs = {-2, -1, 0, 1, 2, 3};
+  std::vector<float> ys;
+  for (float v : xs) ys.push_back(2.0f * v + 1.0f);
+  Tensor x = Tensor::FromData({6, 1}, xs);
+  for (int epoch = 0; epoch < 400; ++epoch) {
+    opt.ZeroGrad();
+    Tensor pred = model.Forward(x);
+    Tensor loss = MseLoss(pred, ys);
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(model.weight().data()[0], 2.0f, 0.05f);
+  EXPECT_NEAR(model.bias().data()[0], 1.0f, 0.05f);
+}
+
+TEST(TrainingIntegrationTest, MlpLearnsXor) {
+  Rng rng(7);
+  Mlp mlp({2, 8, 2}, 0.0f, &rng);
+  Adam opt(mlp.Parameters(), 0.05f);
+  Tensor x = Tensor::FromData({4, 2}, {0, 0, 0, 1, 1, 0, 1, 1});
+  std::vector<int> labels = {0, 1, 1, 0};
+  for (int epoch = 0; epoch < 500; ++epoch) {
+    opt.ZeroGrad();
+    Tensor logits = mlp.Forward(x);
+    SoftmaxCrossEntropy(logits, labels).Backward();
+    opt.Step();
+  }
+  mlp.set_training(false);
+  Tensor logits = mlp.Forward(x);
+  for (int i = 0; i < 4; ++i) {
+    int pred = logits.At(i, 1) > logits.At(i, 0) ? 1 : 0;
+    EXPECT_EQ(pred, labels[i]) << "sample " << i;
+  }
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace omnimatch

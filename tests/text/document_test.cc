@@ -1,0 +1,62 @@
+#include "text/document.h"
+
+#include <gtest/gtest.h>
+
+namespace omnimatch {
+namespace text {
+namespace {
+
+Vocabulary MakeVocab() {
+  Vocabulary v;
+  for (const char* tok : {"great", "movie", "awful", "book"}) v.AddToken(tok);
+  return v;
+}
+
+TEST(DocumentTest, ConcatAndTokenizeJoinsReviews) {
+  auto toks = ConcatAndTokenize({"Great movie!", "awful BOOK"});
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0], "great");
+  EXPECT_EQ(toks[3], "book");
+}
+
+TEST(DocumentTest, PadsShortDocuments) {
+  Vocabulary v = MakeVocab();
+  auto ids = BuildDocumentIds({"great movie"}, v, 5);
+  ASSERT_EQ(ids.size(), 5u);
+  EXPECT_NE(ids[0], Vocabulary::kPadId);
+  EXPECT_NE(ids[1], Vocabulary::kPadId);
+  EXPECT_EQ(ids[2], Vocabulary::kPadId);
+  EXPECT_EQ(ids[4], Vocabulary::kPadId);
+}
+
+TEST(DocumentTest, TruncatesLongDocuments) {
+  Vocabulary v = MakeVocab();
+  auto ids = BuildDocumentIds({"great movie awful book great movie"}, v, 3);
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], v.IdOf("great"));
+  EXPECT_EQ(ids[2], v.IdOf("awful"));
+}
+
+TEST(DocumentTest, UnknownTokensBecomeUnk) {
+  Vocabulary v = MakeVocab();
+  auto ids = BuildDocumentIds({"mysterious artifact"}, v, 4);
+  EXPECT_EQ(ids[0], Vocabulary::kUnkId);
+  EXPECT_EQ(ids[1], Vocabulary::kUnkId);
+}
+
+TEST(DocumentTest, EmptyReviewsAllPad) {
+  Vocabulary v = MakeVocab();
+  auto ids = BuildDocumentIds({}, v, 4);
+  for (int id : ids) EXPECT_EQ(id, Vocabulary::kPadId);
+}
+
+TEST(DocumentTest, ExactLengthNoPadding) {
+  Vocabulary v = MakeVocab();
+  auto ids = BuildDocumentIds({"great movie"}, v, 2);
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[1], v.IdOf("movie"));
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace omnimatch

@@ -1,0 +1,50 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace omnimatch {
+namespace text {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  auto toks = Tokenize("Vampire Romance");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], "vampire");
+  EXPECT_EQ(toks[1], "romance");
+}
+
+TEST(TokenizerTest, StripsPunctuation) {
+  auto toks = Tokenize("Fang-tastic, Fun and Freaky!");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[0], "fang");
+  EXPECT_EQ(toks[1], "tastic");
+  EXPECT_EQ(toks[4], "freaky");
+}
+
+TEST(TokenizerTest, KeepsDigits) {
+  auto toks = Tokenize("superb3 movie 42");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0], "superb3");
+  EXPECT_EQ(toks[2], "42");
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("?!... --- ,,,").empty());
+}
+
+TEST(TokenizerTest, SeparatorMarkersAreStripped) {
+  // The paper joins auxiliary reviews with "<sp>"; the brackets vanish.
+  auto toks = Tokenize("great show <sp> very good");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[2], "sp");
+}
+
+TEST(TokenizerTest, WhitespaceRuns) {
+  auto toks = Tokenize("  a\t\tb \n c  ");
+  ASSERT_EQ(toks.size(), 3u);
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace omnimatch
