@@ -2,15 +2,60 @@
 #define OMNIMATCH_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/flags.h"
+#include "common/string_util.h"
 #include "eval/runner.h"
 #include "eval/table.h"
 
 namespace omnimatch {
 namespace bench {
+
+/// One timed kernel measurement destined for BENCH_nn_ops.json.
+struct KernelSample {
+  std::string name;     // kernel + shape, e.g. "MatMul/256"
+  std::string variant;  // "reference" (naive serial) or "blocked"
+  int threads = 1;      // pool size the sample ran with
+  double ns = 0.0;      // best-of-reps time per call
+  /// Seed-commit measurement of the same kernel (google-benchmark,
+  /// Release), recorded before this substrate existed; 0 when the kernel
+  /// had no seed-era benchmark.
+  double seed_ns = 0.0;
+};
+
+/// Renders the samples as a machine-readable JSON document:
+/// {"schema": ..., "records": [{name, variant, threads, ns, seed_ns,
+///  speedup_vs_seed}, ...]}.
+inline std::string RenderBenchJson(const std::vector<KernelSample>& samples) {
+  std::string out = "{\n  \"schema\": \"omnimatch-bench-v1\",\n";
+  out += "  \"unit\": \"ns_per_call\",\n  \"records\": [\n";
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const KernelSample& s = samples[i];
+    out += StrFormat(
+        "    {\"name\": \"%s\", \"variant\": \"%s\", \"threads\": %d, "
+        "\"ns\": %.1f",
+        s.name.c_str(), s.variant.c_str(), s.threads, s.ns);
+    if (s.seed_ns > 0.0) {
+      out += StrFormat(", \"seed_ns\": %.1f, \"speedup_vs_seed\": %.2f",
+                       s.seed_ns, s.seed_ns / s.ns);
+    }
+    out += i + 1 < samples.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+/// Writes the JSON document to `path`; returns false on I/O failure.
+inline bool WriteBenchJson(const std::string& path,
+                           const std::vector<KernelSample>& samples) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << RenderBenchJson(samples);
+  return static_cast<bool>(out);
+}
 
 /// Prints one paper-style table block: rows are (scenario, RMSE/MAE),
 /// columns are methods, with the last column showing the improvement of

@@ -13,6 +13,7 @@ using namespace omnimatch;
 int main(int argc, char** argv) {
   FlagParser flags;
   if (!flags.Parse(argc, argv).ok()) return 1;
+  ApplyThreadsFlag(flags);
 
   data::SyntheticWorld world(data::SyntheticConfig::AmazonLike());
   eval::RunnerOptions options;

@@ -17,6 +17,7 @@ using namespace omnimatch;
 int main(int argc, char** argv) {
   FlagParser flags;
   if (!flags.Parse(argc, argv).ok()) return 1;
+  ApplyThreadsFlag(flags);
 
   data::SyntheticWorld world(data::SyntheticConfig::AmazonLike());
   const std::vector<std::pair<std::string, std::string>> scenarios = {

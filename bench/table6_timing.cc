@@ -35,6 +35,7 @@ double TrainSeconds(const data::CrossDomainDataset& cross,
 int main(int argc, char** argv) {
   FlagParser flags;
   if (!flags.Parse(argc, argv).ok()) return 1;
+  ApplyThreadsFlag(flags);
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 99));
 
   data::SyntheticWorld world(data::SyntheticConfig::AmazonLike());

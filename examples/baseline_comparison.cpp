@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", parse_status.ToString().c_str());
     return 1;
   }
+  ApplyThreadsFlag(flags);
   std::string source = flags.GetString("source", "Books");
   std::string target = flags.GetString("target", "Movies");
   std::string dataset = flags.GetString("dataset", "amazon");

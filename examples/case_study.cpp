@@ -20,6 +20,7 @@ using namespace omnimatch;
 int main(int argc, char** argv) {
   FlagParser flags;
   if (!flags.Parse(argc, argv).ok()) return 1;
+  ApplyThreadsFlag(flags);
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
 
   data::SyntheticWorld world(data::SyntheticConfig::AmazonLike());

@@ -21,6 +21,7 @@ using namespace omnimatch;
 int main(int argc, char** argv) {
   FlagParser flags;
   if (!flags.Parse(argc, argv).ok()) return 1;
+  ApplyThreadsFlag(flags);
 
   std::string source_path = flags.GetString("source", "");
   std::string target_path = flags.GetString("target", "");

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", parse_status.ToString().c_str());
     return 1;
   }
+  ApplyThreadsFlag(flags);
 
   // 1. Generate a small Amazon-like world and pick a scenario.
   data::SyntheticConfig data_config = data::SyntheticConfig::AmazonLike();

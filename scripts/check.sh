@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Full verification matrix: Release build + tests, then the thread pool and
+# nn kernels under ThreadSanitizer and AddressSanitizer.
+#
+#   scripts/check.sh            # everything
+#   scripts/check.sh release    # just the Release build + full ctest
+#   scripts/check.sh tsan       # just the TSan config
+#   scripts/check.sh asan       # just the ASan config
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+MODE="${1:-all}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+run_release() {
+  echo "=== Release build + full test suite ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+  cmake --build build -j "${JOBS}"
+  ctest --test-dir build --output-on-failure -j "${JOBS}"
+}
+
+# Sanitizer configs only build the test tree (benchmarks and examples add
+# nothing to coverage and double the build time). TSan exercises the thread
+# pool, the blocked GEMM, and every parallel op through common_test/nn_test;
+# ASan additionally runs the trainer-level suites.
+run_sanitizer() {
+  local kind="$1" dir="build-$1" ; shift
+  echo "=== ${kind} build (${dir}) ==="
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DOMNIMATCH_SANITIZE="${kind}" \
+    -DOMNIMATCH_BUILD_BENCHMARKS=OFF -DOMNIMATCH_BUILD_EXAMPLES=OFF \
+    > /dev/null
+  cmake --build "${dir}" -j "${JOBS}" --target "$@"
+  for t in "$@"; do
+    echo "--- ${kind}: ${t} ---"
+    "./${dir}/tests/${t}"
+  done
+}
+
+case "${MODE}" in
+  release) run_release ;;
+  tsan)    run_sanitizer thread common_test nn_test ;;
+  asan)    run_sanitizer address common_test nn_test core_test ;;
+  all)
+    run_release
+    run_sanitizer thread common_test nn_test
+    run_sanitizer address common_test nn_test core_test
+    ;;
+  *) echo "usage: $0 [all|release|tsan|asan]" >&2 ; exit 2 ;;
+esac
+
+echo "OK (${MODE})"

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/string_util.h"
+#include "common/threadpool.h"
 
 namespace omnimatch {
 
@@ -54,6 +55,11 @@ bool FlagParser::GetBool(const std::string& name, bool default_value) const {
   auto it = values_.find(name);
   if (it == values_.end()) return default_value;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+int ApplyThreadsFlag(const FlagParser& flags) {
+  SetNumThreads(flags.GetInt("threads", 0));
+  return GetNumThreads();
 }
 
 }  // namespace omnimatch

@@ -33,6 +33,12 @@ class FlagParser {
   std::vector<std::string> positional_;
 };
 
+/// Reads the shared `--threads` flag (0 = all hardware threads) and sizes
+/// the global compute thread pool accordingly. Returns the resolved thread
+/// count. Every benchmark / example binary calls this right after Parse()
+/// so the whole fleet agrees on one spelling.
+int ApplyThreadsFlag(const FlagParser& flags);
+
 }  // namespace omnimatch
 
 #endif  // OMNIMATCH_COMMON_FLAGS_H_

@@ -52,6 +52,9 @@ Status OmniMatchConfig::Validate() const {
   if (temperature <= 0.0f) {
     return Status::InvalidArgument("temperature must be > 0");
   }
+  if (num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0 (0 = auto)");
+  }
   return Status::OK();
 }
 

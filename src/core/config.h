@@ -122,6 +122,10 @@ struct OmniMatchConfig {
   int min_vocab_count = 1;
   uint64_t seed = 7;
   bool verbose = false;
+  /// Worker threads for the shared compute pool (GEMM, conv, losses,
+  /// document assembly). 0 = all hardware threads. Results are
+  /// bit-identical for every setting; see DESIGN.md "Threading".
+  int num_threads = 0;
 
   /// Validates ranges; returns InvalidArgument describing the first problem.
   Status Validate() const;

@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "common/threadpool.h"
 #include "nn/losses.h"
 #include "nn/ops.h"
 #include "text/document.h"
@@ -37,6 +38,7 @@ const std::string& OmniMatchTrainer::TextOf(const data::Review& review) const {
 
 Status OmniMatchTrainer::Prepare() {
   OM_RETURN_IF_ERROR(config_.Validate());
+  SetNumThreads(config_.num_threads);
   if (split_.train_users.empty()) {
     return Status::FailedPrecondition("split has no training users");
   }
@@ -208,29 +210,40 @@ std::vector<int> OmniMatchTrainer::GatherDocs(
   return flat;
 }
 
-void OmniMatchTrainer::AppendTrainingDoc(
-    const std::vector<std::vector<int>>* reviews, int doc_len,
-    std::vector<int>* flat) {
-  size_t before = flat->size();
+void OmniMatchTrainer::AssembleTrainingDoc(
+    const std::vector<std::vector<int>>* reviews, int doc_len, Rng* rng,
+    int* dst) const {
+  int filled = 0;
   if (reviews != nullptr && !reviews->empty()) {
     std::vector<int> order(reviews->size());
     for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
-    if (config_.shuffle_reviews_in_training) rng_.Shuffle(order);
+    if (config_.shuffle_reviews_in_training) rng->Shuffle(order);
     for (int r : order) {
       const std::vector<int>& tokens = (*reviews)[static_cast<size_t>(r)];
       for (int tok : tokens) {
-        if (flat->size() - before >= static_cast<size_t>(doc_len)) break;
+        if (filled >= doc_len) break;
         bool masked = config_.word_dropout > 0.0f &&
-                      rng_.Bernoulli(config_.word_dropout);
-        flat->push_back(masked ? text::Vocabulary::kPadId : tok);
+                      rng->Bernoulli(config_.word_dropout);
+        dst[filled++] = masked ? text::Vocabulary::kPadId : tok;
       }
-      if (flat->size() - before >= static_cast<size_t>(doc_len)) break;
+      if (filled >= doc_len) break;
     }
   }
-  while (flat->size() - before < static_cast<size_t>(doc_len)) {
-    flat->push_back(text::Vocabulary::kPadId);
-  }
+  while (filled < doc_len) dst[filled++] = text::Vocabulary::kPadId;
 }
+
+uint64_t OmniMatchTrainer::NextDocSeed() {
+  return (static_cast<uint64_t>(rng_.NextU32()) << 32) | rng_.NextU32();
+}
+
+namespace {
+/// Child stream for document slot `index` of the batch seeded by `base`
+/// (splitmix-style mixing so adjacent slots decorrelate).
+Rng DocRng(uint64_t base, int64_t index) {
+  return Rng(base ^ (0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(index) +
+                                              0x243F6A8885A308D3ULL)));
+}
+}  // namespace
 
 std::vector<int> OmniMatchTrainer::GatherTrainingDocs(
     const std::unordered_map<int, std::vector<std::vector<int>>>& reviews,
@@ -239,35 +252,55 @@ std::vector<int> OmniMatchTrainer::GatherTrainingDocs(
   if (!config_.shuffle_reviews_in_training && config_.word_dropout <= 0.0f) {
     return GatherDocs(fixed_docs, keys, doc_len);
   }
-  std::vector<int> flat;
-  flat.reserve(keys.size() * static_cast<size_t>(doc_len));
-  for (int key : keys) {
-    auto it = reviews.find(key);
-    AppendTrainingDoc(it == reviews.end() ? nullptr : &it->second, doc_len,
-                      &flat);
-  }
+  // One base draw per batch keeps the trainer stream's consumption
+  // independent of threading; each document slot then assembles from its
+  // own derived stream into a disjoint span, so the batch parallelizes with
+  // bit-identical results for any thread count.
+  uint64_t base = NextDocSeed();
+  std::vector<int> flat(keys.size() * static_cast<size_t>(doc_len));
+  ParallelFor(0, static_cast<int64_t>(keys.size()), 8,
+              [&](int64_t k0, int64_t k1) {
+                for (int64_t k = k0; k < k1; ++k) {
+                  Rng rng = DocRng(base, k);
+                  auto it = reviews.find(keys[static_cast<size_t>(k)]);
+                  AssembleTrainingDoc(
+                      it == reviews.end() ? nullptr : &it->second, doc_len,
+                      &rng, flat.data() + static_cast<size_t>(k) * doc_len);
+                }
+              });
   return flat;
 }
 
 std::vector<int> OmniMatchTrainer::GatherTargetTrainingDocs(
     const std::vector<int>& users) {
-  std::vector<int> flat;
-  flat.reserve(users.size() * static_cast<size_t>(config_.doc_len));
-  for (int u : users) {
-    const std::vector<std::vector<int>>* reviews = nullptr;
-    if (config_.aux_augmentation_prob > 0.0f &&
-        rng_.Bernoulli(config_.aux_augmentation_prob)) {
-      auto aux = train_aux_reviews_.find(u);
-      if (aux != train_aux_reviews_.end() && !aux->second.empty()) {
-        reviews = &aux->second;
-      }
-    }
-    if (reviews == nullptr) {
-      auto real = user_target_reviews_.find(u);
-      if (real != user_target_reviews_.end()) reviews = &real->second;
-    }
-    AppendTrainingDoc(reviews, config_.doc_len, &flat);
-  }
+  uint64_t base = NextDocSeed();
+  int doc_len = config_.doc_len;
+  std::vector<int> flat(users.size() * static_cast<size_t>(doc_len));
+  ParallelFor(0, static_cast<int64_t>(users.size()), 8,
+              [&](int64_t k0, int64_t k1) {
+                for (int64_t k = k0; k < k1; ++k) {
+                  Rng rng = DocRng(base, k);
+                  int u = users[static_cast<size_t>(k)];
+                  const std::vector<std::vector<int>>* reviews = nullptr;
+                  if (config_.aux_augmentation_prob > 0.0f &&
+                      rng.Bernoulli(config_.aux_augmentation_prob)) {
+                    auto aux = train_aux_reviews_.find(u);
+                    if (aux != train_aux_reviews_.end() &&
+                        !aux->second.empty()) {
+                      reviews = &aux->second;
+                    }
+                  }
+                  if (reviews == nullptr) {
+                    auto real = user_target_reviews_.find(u);
+                    if (real != user_target_reviews_.end()) {
+                      reviews = &real->second;
+                    }
+                  }
+                  AssembleTrainingDoc(
+                      reviews, doc_len, &rng,
+                      flat.data() + static_cast<size_t>(k) * doc_len);
+                }
+              });
   return flat;
 }
 

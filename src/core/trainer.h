@@ -121,9 +121,14 @@ class OmniMatchTrainer {
       const std::unordered_map<int, std::vector<std::vector<int>>>& reviews,
       const std::unordered_map<int, std::vector<int>>& fixed_docs,
       const std::vector<int>& keys, int doc_len);
-  /// Appends one augmented document assembled from `reviews` (or pads).
-  void AppendTrainingDoc(const std::vector<std::vector<int>>* reviews,
-                         int doc_len, std::vector<int>* flat);
+  /// Writes one augmented document assembled from `reviews` (or pads) into
+  /// dst[0, doc_len), drawing shuffle/word-dropout randomness from `rng`.
+  void AssembleTrainingDoc(const std::vector<std::vector<int>>* reviews,
+                           int doc_len, Rng* rng, int* dst) const;
+  /// Draws one 64-bit value from rng_ from which each document slot derives
+  /// an independent child stream; keeps batch assembly parallelizable while
+  /// consuming the trainer stream identically for every thread count.
+  uint64_t NextDocSeed();
   /// Target-side training documents with cold-start self-simulation.
   std::vector<int> GatherTargetTrainingDocs(const std::vector<int>& users);
 

@@ -1,0 +1,57 @@
+#ifndef OMNIMATCH_NN_GEMM_H_
+#define OMNIMATCH_NN_GEMM_H_
+
+namespace omnimatch {
+namespace nn {
+
+/// Cache-blocked, register-tiled, thread-parallel single-precision matrix
+/// multiplication kernels — the compute substrate under MatMul, MatMulNT,
+/// their backward passes, and the fused text convolution.
+///
+/// All variants *accumulate* (C += ...) over row-major contiguous C[M, N].
+/// The BLIS-style structure: B is packed once per (N-block, K-block) into
+/// kNR-wide panels, A is packed per M-block into kMR-tall strips, and an
+/// 8x32 register-tiled micro-kernel (auto-vectorized; 16 zmm accumulators
+/// with AVX-512) does the FLOPs. Work is sharded over rows of C on the
+/// shared ThreadPool; each output element is produced by exactly one task
+/// and K is always walked in ascending order, so results are bit-identical
+/// for every thread count.
+
+/// C[M,N] += A[M,K] * B[K,N].
+void GemmNN(const float* a, const float* b, float* c, int m_dim, int k_dim,
+            int n_dim);
+
+/// C[M,N] += A[M,K] * B[N,K]^T.
+void GemmNT(const float* a, const float* b, float* c, int m_dim, int k_dim,
+            int n_dim);
+
+/// C[M,N] += A * B[N,K]^T where row i of A starts at a + i*lda (row length
+/// K; rows may overlap when lda < K, which the text convolution uses for
+/// sliding windows).
+void GemmNTStrided(const float* a, int lda, const float* b, float* c,
+                   int m_dim, int k_dim, int n_dim);
+
+/// C[M,N] += A[K,M]^T * B[K,N].
+void GemmTN(const float* a, const float* b, float* c, int m_dim, int k_dim,
+            int n_dim);
+
+namespace reference {
+
+/// Naive triple-loop versions of the kernels above, kept as the ground
+/// truth for property tests and as the "before" side of the benchmark
+/// trajectory (bench_report). Serial, unblocked, branch-free.
+void GemmNN(const float* a, const float* b, float* c, int m_dim, int k_dim,
+            int n_dim);
+void GemmNT(const float* a, const float* b, float* c, int m_dim, int k_dim,
+            int n_dim);
+void GemmNTStrided(const float* a, int lda, const float* b, float* c,
+                   int m_dim, int k_dim, int n_dim);
+void GemmTN(const float* a, const float* b, float* c, int m_dim, int k_dim,
+            int n_dim);
+
+}  // namespace reference
+
+}  // namespace nn
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_NN_GEMM_H_

@@ -4,6 +4,8 @@
 #include <memory>
 
 #include "common/check.h"
+#include "common/threadpool.h"
+#include "nn/gemm.h"
 
 namespace omnimatch {
 namespace nn {
@@ -25,21 +27,27 @@ Tensor SoftmaxCrossEntropy(const Tensor& logits,
   auto probs = std::make_shared<std::vector<float>>(
       static_cast<size_t>(batch) * classes);
   const float* x = logits.data().data();
-  double total = 0.0;
-  for (int b = 0; b < batch; ++b) {
-    const float* row = x + static_cast<size_t>(b) * classes;
-    float* prow = probs->data() + static_cast<size_t>(b) * classes;
-    float max_v = row[0];
-    for (int c = 1; c < classes; ++c) max_v = std::max(max_v, row[c]);
-    float sum = 0.0f;
-    for (int c = 0; c < classes; ++c) {
-      prow[c] = std::exp(row[c] - max_v);
-      sum += prow[c];
+  // Row-parallel softmax; per-row losses are combined serially in index
+  // order so the scalar is thread-count invariant.
+  std::vector<float> row_loss(batch, 0.0f);
+  ParallelFor(0, batch, 64, [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      const float* row = x + static_cast<size_t>(b) * classes;
+      float* prow = probs->data() + static_cast<size_t>(b) * classes;
+      float max_v = row[0];
+      for (int c = 1; c < classes; ++c) max_v = std::max(max_v, row[c]);
+      float sum = 0.0f;
+      for (int c = 0; c < classes; ++c) {
+        prow[c] = std::exp(row[c] - max_v);
+        sum += prow[c];
+      }
+      float inv = 1.0f / sum;
+      for (int c = 0; c < classes; ++c) prow[c] *= inv;
+      row_loss[b] = -std::log(std::max(prow[labels[b]], 1e-12f));
     }
-    float inv = 1.0f / sum;
-    for (int c = 0; c < classes; ++c) prow[c] *= inv;
-    total += -std::log(std::max(prow[labels[b]], 1e-12f));
-  }
+  });
+  double total = 0.0;
+  for (int b = 0; b < batch; ++b) total += row_loss[b];
   out->data[0] = static_cast<float>(total / batch);
 
   if (out->requires_grad) {
@@ -112,73 +120,81 @@ Tensor SupConLoss(const Tensor& features, const std::vector<int>& labels,
       static_cast<size_t>(batch) * dim);
   auto norms = std::make_shared<std::vector<float>>(batch);
   const float* z = features.data().data();
-  for (int i = 0; i < batch; ++i) {
-    const float* row = z + static_cast<size_t>(i) * dim;
-    double sq = 0.0;
-    for (int d = 0; d < dim; ++d) sq += static_cast<double>(row[d]) * row[d];
-    float norm = static_cast<float>(std::sqrt(sq)) + 1e-8f;
-    (*norms)[i] = norm;
-    float* nrow = norm_feats->data() + static_cast<size_t>(i) * dim;
-    for (int d = 0; d < dim; ++d) nrow[d] = row[d] / norm;
-  }
+  ParallelFor(0, batch, 8, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* row = z + static_cast<size_t>(i) * dim;
+      double sq = 0.0;
+      for (int d = 0; d < dim; ++d) sq += static_cast<double>(row[d]) * row[d];
+      float norm = static_cast<float>(std::sqrt(sq)) + 1e-8f;
+      (*norms)[i] = norm;
+      float* nrow = norm_feats->data() + static_cast<size_t>(i) * dim;
+      for (int d = 0; d < dim; ++d) nrow[d] = row[d] / norm;
+    }
+  });
 
   // 2. Similarities s_ij = <ẑ_i, ẑ_j> / τ and softmax denominators over
-  //    A(i) = all j != i. Shifted by the row max for stability.
+  //    A(i) = all j != i. Shifted by the row max for stability. The full
+  //    Gram matrix Ẑ Ẑ^T is one GEMM; the diagonal comes along for free and
+  //    every later pass skips it.
   const float inv_tau = 1.0f / temperature;
   std::vector<float> sims(static_cast<size_t>(batch) * batch, 0.0f);
-  for (int i = 0; i < batch; ++i) {
-    const float* zi = norm_feats->data() + static_cast<size_t>(i) * dim;
-    for (int j = 0; j < batch; ++j) {
-      if (j == i) continue;
-      const float* zj = norm_feats->data() + static_cast<size_t>(j) * dim;
-      float dot = 0.0f;
-      for (int d = 0; d < dim; ++d) dot += zi[d] * zj[d];
-      sims[static_cast<size_t>(i) * batch + j] = dot * inv_tau;
-    }
-  }
+  GemmNT(norm_feats->data(), norm_feats->data(), sims.data(), batch, dim,
+         batch);
+  for (float& s : sims) s *= inv_tau;
 
   // p_ij = exp(s_ij) / sum_{a != i} exp(s_ia); stored for backward.
+  // Each anchor row is owned by one chunk, so probs/lse are deterministic.
   auto probs = std::make_shared<std::vector<float>>(
       static_cast<size_t>(batch) * batch, 0.0f);
   std::vector<float> lse(batch, 0.0f);
-  for (int i = 0; i < batch; ++i) {
-    float max_v = -1e30f;
-    for (int j = 0; j < batch; ++j) {
-      if (j != i) {
-        max_v = std::max(max_v, sims[static_cast<size_t>(i) * batch + j]);
+  ParallelFor(0, batch, 8, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      float max_v = -1e30f;
+      for (int j = 0; j < batch; ++j) {
+        if (j != i) {
+          max_v = std::max(max_v, sims[static_cast<size_t>(i) * batch + j]);
+        }
+      }
+      double sum = 0.0;
+      for (int j = 0; j < batch; ++j) {
+        if (j == i) continue;
+        double e = std::exp(sims[static_cast<size_t>(i) * batch + j] - max_v);
+        (*probs)[static_cast<size_t>(i) * batch + j] = static_cast<float>(e);
+        sum += e;
+      }
+      lse[i] = max_v + static_cast<float>(std::log(sum));
+      float inv = static_cast<float>(1.0 / sum);
+      for (int j = 0; j < batch; ++j) {
+        (*probs)[static_cast<size_t>(i) * batch + j] *= inv;
       }
     }
-    double sum = 0.0;
-    for (int j = 0; j < batch; ++j) {
-      if (j == i) continue;
-      double e = std::exp(sims[static_cast<size_t>(i) * batch + j] - max_v);
-      (*probs)[static_cast<size_t>(i) * batch + j] = static_cast<float>(e);
-      sum += e;
-    }
-    lse[i] = max_v + static_cast<float>(std::log(sum));
-    float inv = static_cast<float>(1.0 / sum);
-    for (int j = 0; j < batch; ++j) {
-      (*probs)[static_cast<size_t>(i) * batch + j] *= inv;
-    }
-  }
+  });
 
   // 3. Per-anchor loss over P(i) = {p != i : label_p == label_i}.
+  // Per-anchor partials are combined serially in index order so the scalar
+  // loss is independent of the thread count.
   auto pos_count = std::make_shared<std::vector<int>>(batch, 0);
+  std::vector<double> anchor_loss(batch, 0.0);
+  ParallelFor(0, batch, 8, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      int cnt = 0;
+      double pos_sum = 0.0;
+      for (int j = 0; j < batch; ++j) {
+        if (j != i && labels[j] == labels[i]) {
+          ++cnt;
+          pos_sum += sims[static_cast<size_t>(i) * batch + j];
+        }
+      }
+      (*pos_count)[i] = cnt;
+      if (cnt > 0) anchor_loss[i] = -(pos_sum / cnt - lse[i]);
+    }
+  });
   int valid_anchors = 0;
   double total = 0.0;
   for (int i = 0; i < batch; ++i) {
-    int cnt = 0;
-    double pos_sum = 0.0;
-    for (int j = 0; j < batch; ++j) {
-      if (j != i && labels[j] == labels[i]) {
-        ++cnt;
-        pos_sum += sims[static_cast<size_t>(i) * batch + j];
-      }
-    }
-    (*pos_count)[i] = cnt;
-    if (cnt > 0) {
+    if ((*pos_count)[i] > 0) {
       ++valid_anchors;
-      total += -(pos_sum / cnt - lse[i]);
+      total += anchor_loss[i];
     }
   }
 
@@ -203,46 +219,51 @@ Tensor SupConLoss(const Tensor& features, const std::vector<int>& labels,
       fi->EnsureGrad();
       float gscale = o->grad[0] / static_cast<float>(valid_anchors);
       // g_ij = dL/ds_ij for anchor i (0 on the diagonal and for anchors
-      // without positives).
+      // without positives). Anchor rows are independent.
       std::vector<float> gmat(static_cast<size_t>(batch) * batch, 0.0f);
-      for (int i = 0; i < batch; ++i) {
-        int cnt = (*pos_count)[i];
-        if (cnt == 0) continue;
-        float inv_cnt = 1.0f / static_cast<float>(cnt);
-        for (int j = 0; j < batch; ++j) {
-          if (j == i) continue;
-          float g = (*probs)[static_cast<size_t>(i) * batch + j];
-          if ((*labels_copy)[j] == (*labels_copy)[i]) g -= inv_cnt;
-          gmat[static_cast<size_t>(i) * batch + j] = g * gscale;
+      ParallelFor(0, batch, 8, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          int cnt = (*pos_count)[i];
+          if (cnt == 0) continue;
+          float inv_cnt = 1.0f / static_cast<float>(cnt);
+          for (int j = 0; j < batch; ++j) {
+            if (j == i) continue;
+            float g = (*probs)[static_cast<size_t>(i) * batch + j];
+            if ((*labels_copy)[j] == (*labels_copy)[i]) g -= inv_cnt;
+            gmat[static_cast<size_t>(i) * batch + j] = g * gscale;
+          }
         }
-      }
-      // dL/dẑ_k = (1/τ) * sum_j (g_kj + g_jk) ẑ_j.
+      });
+      // dL/dẑ = (1/τ) (G + G^T) Ẑ — symmetrize, then one GEMM. The
+      // diagonal of G is zero, so no j == k exclusion is needed.
+      std::vector<float> sym(static_cast<size_t>(batch) * batch);
+      ParallelFor(0, batch, 8, [&](int64_t k0, int64_t k1) {
+        for (int64_t k = k0; k < k1; ++k) {
+          for (int j = 0; j < batch; ++j) {
+            sym[static_cast<size_t>(k) * batch + j] =
+                (gmat[static_cast<size_t>(k) * batch + j] +
+                 gmat[static_cast<size_t>(j) * batch + k]) *
+                inv_tau;
+          }
+        }
+      });
       std::vector<float> dnorm(static_cast<size_t>(batch) * dim, 0.0f);
-      for (int k = 0; k < batch; ++k) {
-        float* dk = dnorm.data() + static_cast<size_t>(k) * dim;
-        for (int j = 0; j < batch; ++j) {
-          if (j == k) continue;
-          float coef = (gmat[static_cast<size_t>(k) * batch + j] +
-                        gmat[static_cast<size_t>(j) * batch + k]) *
-                       inv_tau;
-          if (coef == 0.0f) continue;
-          const float* zj = norm_feats->data() + static_cast<size_t>(j) * dim;
-          for (int d = 0; d < dim; ++d) dk[d] += coef * zj[d];
-        }
-      }
+      GemmNN(sym.data(), norm_feats->data(), dnorm.data(), batch, batch, dim);
       // Chain through the normalization ẑ = z/||z||:
-      // dz = (dẑ - (dẑ·ẑ) ẑ) / ||z||.
-      for (int k = 0; k < batch; ++k) {
-        const float* zk = norm_feats->data() + static_cast<size_t>(k) * dim;
-        const float* dk = dnorm.data() + static_cast<size_t>(k) * dim;
-        float* dst = fi->grad.data() + static_cast<size_t>(k) * dim;
-        float dot = 0.0f;
-        for (int d = 0; d < dim; ++d) dot += dk[d] * zk[d];
-        float inv_norm = 1.0f / (*norms)[k];
-        for (int d = 0; d < dim; ++d) {
-          dst[d] += (dk[d] - dot * zk[d]) * inv_norm;
+      // dz = (dẑ - (dẑ·ẑ) ẑ) / ||z||. Feature rows are independent.
+      ParallelFor(0, batch, 8, [&](int64_t k0, int64_t k1) {
+        for (int64_t k = k0; k < k1; ++k) {
+          const float* zk = norm_feats->data() + static_cast<size_t>(k) * dim;
+          const float* dk = dnorm.data() + static_cast<size_t>(k) * dim;
+          float* dst = fi->grad.data() + static_cast<size_t>(k) * dim;
+          float dot = 0.0f;
+          for (int d = 0; d < dim; ++d) dot += dk[d] * zk[d];
+          float inv_norm = 1.0f / (*norms)[k];
+          for (int d = 0; d < dim; ++d) {
+            dst[d] += (dk[d] - dot * zk[d]) * inv_norm;
+          }
         }
-      }
+      });
     };
   }
   return Tensor(std::move(out));

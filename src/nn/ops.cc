@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/threadpool.h"
+#include "nn/gemm.h"
 
 namespace omnimatch {
 namespace nn {
@@ -11,6 +13,21 @@ namespace nn {
 namespace {
 
 using Impl = std::shared_ptr<TensorImpl>;
+
+/// Minimum number of scalar ops before an elementwise loop is worth
+/// sharding over the pool; below this the loop runs inline.
+constexpr int64_t kElemGrain = 1 << 14;
+
+/// Shards an elementwise loop [0, n) over the thread pool. Each index is
+/// written by exactly one chunk, so any fn with per-index independent
+/// writes is bit-deterministic for every thread count.
+template <typename Fn>
+void ParallelElems(size_t n, Fn&& fn) {
+  ParallelFor(0, static_cast<int64_t>(n), kElemGrain,
+              [&fn](int64_t b, int64_t e) {
+                fn(static_cast<size_t>(b), static_cast<size_t>(e));
+              });
+}
 
 /// Creates the output node of an op: shape, requires_grad propagation, and
 /// (when grad is needed) the parent edges. The caller attaches backward_fn
@@ -24,59 +41,6 @@ Tensor MakeOutput(std::vector<int> shape, std::vector<Impl> parents) {
   out->requires_grad = needs_grad;
   if (needs_grad) out->parents = std::move(parents);
   return Tensor(std::move(out));
-}
-
-/// C[M,N] += A[M,K] * B[K,N], row-major, contiguous.
-void GemmNN(const float* a, const float* b, float* c, int m_dim, int k_dim,
-            int n_dim) {
-  for (int m = 0; m < m_dim; ++m) {
-    float* crow = c + static_cast<size_t>(m) * n_dim;
-    const float* arow = a + static_cast<size_t>(m) * k_dim;
-    for (int k = 0; k < k_dim; ++k) {
-      float av = arow[k];
-      if (av == 0.0f) continue;
-      const float* brow = b + static_cast<size_t>(k) * n_dim;
-      for (int n = 0; n < n_dim; ++n) crow[n] += av * brow[n];
-    }
-  }
-}
-
-/// C[M,N] += A * B^T where A rows start at a + m*lda (row length K, rows may
-/// overlap when lda < K, which the text-conv uses for sliding windows) and
-/// B is [N, K] contiguous.
-void GemmNTStrided(const float* a, int lda, const float* b, float* c,
-                   int m_dim, int k_dim, int n_dim) {
-  for (int m = 0; m < m_dim; ++m) {
-    const float* arow = a + static_cast<size_t>(m) * lda;
-    float* crow = c + static_cast<size_t>(m) * n_dim;
-    for (int n = 0; n < n_dim; ++n) {
-      const float* brow = b + static_cast<size_t>(n) * k_dim;
-      float acc = 0.0f;
-      for (int k = 0; k < k_dim; ++k) acc += arow[k] * brow[k];
-      crow[n] += acc;
-    }
-  }
-}
-
-/// C[M,N] += A[M,K] * B[N,K]^T, contiguous.
-void GemmNT(const float* a, const float* b, float* c, int m_dim, int k_dim,
-            int n_dim) {
-  GemmNTStrided(a, k_dim, b, c, m_dim, k_dim, n_dim);
-}
-
-/// C[M,N] += A[K,M]^T * B[K,N], contiguous.
-void GemmTN(const float* a, const float* b, float* c, int m_dim, int k_dim,
-            int n_dim) {
-  for (int k = 0; k < k_dim; ++k) {
-    const float* arow = a + static_cast<size_t>(k) * m_dim;
-    const float* brow = b + static_cast<size_t>(k) * n_dim;
-    for (int m = 0; m < m_dim; ++m) {
-      float av = arow[m];
-      if (av == 0.0f) continue;
-      float* crow = c + static_cast<size_t>(m) * n_dim;
-      for (int n = 0; n < n_dim; ++n) crow[n] += av * brow[n];
-    }
-  }
 }
 
 void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
@@ -93,7 +57,9 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   const auto& av = a.data();
   const auto& bv = b.data();
   auto& ov = out.data();
-  for (size_t i = 0; i < ov.size(); ++i) ov[i] = av[i] + bv[i];
+  ParallelElems(ov.size(), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) ov[i] = av[i] + bv[i];
+  });
   if (out.requires_grad()) {
     Impl ai = a.impl(), bi = b.impl();
     TensorImpl* o = out.impl().get();
@@ -101,11 +67,15 @@ Tensor Add(const Tensor& a, const Tensor& b) {
       o->EnsureGrad();
       if (ai->requires_grad) {
         ai->EnsureGrad();
-        for (size_t i = 0; i < o->grad.size(); ++i) ai->grad[i] += o->grad[i];
+        ParallelElems(o->grad.size(), [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) ai->grad[i] += o->grad[i];
+        });
       }
       if (bi->requires_grad) {
         bi->EnsureGrad();
-        for (size_t i = 0; i < o->grad.size(); ++i) bi->grad[i] += o->grad[i];
+        ParallelElems(o->grad.size(), [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) bi->grad[i] += o->grad[i];
+        });
       }
     };
   }
@@ -118,7 +88,9 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
   const auto& av = a.data();
   const auto& bv = b.data();
   auto& ov = out.data();
-  for (size_t i = 0; i < ov.size(); ++i) ov[i] = av[i] - bv[i];
+  ParallelElems(ov.size(), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) ov[i] = av[i] - bv[i];
+  });
   if (out.requires_grad()) {
     Impl ai = a.impl(), bi = b.impl();
     TensorImpl* o = out.impl().get();
@@ -126,11 +98,15 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
       o->EnsureGrad();
       if (ai->requires_grad) {
         ai->EnsureGrad();
-        for (size_t i = 0; i < o->grad.size(); ++i) ai->grad[i] += o->grad[i];
+        ParallelElems(o->grad.size(), [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) ai->grad[i] += o->grad[i];
+        });
       }
       if (bi->requires_grad) {
         bi->EnsureGrad();
-        for (size_t i = 0; i < o->grad.size(); ++i) bi->grad[i] -= o->grad[i];
+        ParallelElems(o->grad.size(), [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) bi->grad[i] -= o->grad[i];
+        });
       }
     };
   }
@@ -143,7 +119,9 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   const auto& av = a.data();
   const auto& bv = b.data();
   auto& ov = out.data();
-  for (size_t i = 0; i < ov.size(); ++i) ov[i] = av[i] * bv[i];
+  ParallelElems(ov.size(), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) ov[i] = av[i] * bv[i];
+  });
   if (out.requires_grad()) {
     Impl ai = a.impl(), bi = b.impl();
     TensorImpl* o = out.impl().get();
@@ -151,15 +129,19 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
       o->EnsureGrad();
       if (ai->requires_grad) {
         ai->EnsureGrad();
-        for (size_t i = 0; i < o->grad.size(); ++i) {
-          ai->grad[i] += o->grad[i] * bi->data[i];
-        }
+        ParallelElems(o->grad.size(), [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) {
+            ai->grad[i] += o->grad[i] * bi->data[i];
+          }
+        });
       }
       if (bi->requires_grad) {
         bi->EnsureGrad();
-        for (size_t i = 0; i < o->grad.size(); ++i) {
-          bi->grad[i] += o->grad[i] * ai->data[i];
-        }
+        ParallelElems(o->grad.size(), [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) {
+            bi->grad[i] += o->grad[i] * ai->data[i];
+          }
+        });
       }
     };
   }
@@ -170,14 +152,18 @@ Tensor Scale(const Tensor& a, float s) {
   Tensor out = MakeOutput(a.shape(), {a.impl()});
   const auto& av = a.data();
   auto& ov = out.data();
-  for (size_t i = 0; i < ov.size(); ++i) ov[i] = av[i] * s;
+  ParallelElems(ov.size(), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) ov[i] = av[i] * s;
+  });
   if (out.requires_grad()) {
     Impl ai = a.impl();
     TensorImpl* o = out.impl().get();
     out.impl()->backward_fn = [ai, o, s]() {
       o->EnsureGrad();
       ai->EnsureGrad();
-      for (size_t i = 0; i < o->grad.size(); ++i) ai->grad[i] += s * o->grad[i];
+      ParallelElems(o->grad.size(), [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) ai->grad[i] += s * o->grad[i];
+      });
     };
   }
   return out;
@@ -210,12 +196,14 @@ Tensor AddRowBroadcast(const Tensor& mat, const Tensor& row) {
   const auto& mv = mat.data();
   const auto& rv = row.data();
   auto& ov = out.data();
-  for (int r = 0; r < rows; ++r) {
-    for (int c = 0; c < cols; ++c) {
-      ov[static_cast<size_t>(r) * cols + c] =
-          mv[static_cast<size_t>(r) * cols + c] + rv[c];
-    }
-  }
+  ParallelFor(0, rows, std::max<int64_t>(1, kElemGrain / cols),
+              [&](int64_t r0, int64_t r1) {
+                for (int64_t r = r0; r < r1; ++r) {
+                  const float* src = mv.data() + static_cast<size_t>(r) * cols;
+                  float* dst = ov.data() + static_cast<size_t>(r) * cols;
+                  for (int c = 0; c < cols; ++c) dst[c] = src[c] + rv[c];
+                }
+              });
   if (out.requires_grad()) {
     Impl mi = mat.impl(), ri = row.impl();
     TensorImpl* o = out.impl().get();
@@ -223,15 +211,24 @@ Tensor AddRowBroadcast(const Tensor& mat, const Tensor& row) {
       o->EnsureGrad();
       if (mi->requires_grad) {
         mi->EnsureGrad();
-        for (size_t i = 0; i < o->grad.size(); ++i) mi->grad[i] += o->grad[i];
+        ParallelElems(o->grad.size(), [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) mi->grad[i] += o->grad[i];
+        });
       }
       if (ri->requires_grad) {
         ri->EnsureGrad();
-        for (int r = 0; r < rows; ++r) {
-          for (int c = 0; c < cols; ++c) {
-            ri->grad[c] += o->grad[static_cast<size_t>(r) * cols + c];
-          }
-        }
+        // Column reduction: each column owned by one chunk, rows walked in
+        // ascending order — deterministic for any thread count.
+        ParallelFor(0, cols, std::max<int64_t>(1, kElemGrain / rows),
+                    [&](int64_t c0, int64_t c1) {
+                      for (int r = 0; r < rows; ++r) {
+                        const float* grow =
+                            o->grad.data() + static_cast<size_t>(r) * cols;
+                        for (int64_t c = c0; c < c1; ++c) {
+                          ri->grad[c] += grow[c];
+                        }
+                      }
+                    });
       }
     };
   }
@@ -242,16 +239,20 @@ Tensor Relu(const Tensor& x) {
   Tensor out = MakeOutput(x.shape(), {x.impl()});
   const auto& xv = x.data();
   auto& ov = out.data();
-  for (size_t i = 0; i < ov.size(); ++i) ov[i] = xv[i] > 0.0f ? xv[i] : 0.0f;
+  ParallelElems(ov.size(), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) ov[i] = xv[i] > 0.0f ? xv[i] : 0.0f;
+  });
   if (out.requires_grad()) {
     Impl xi = x.impl();
     TensorImpl* o = out.impl().get();
     out.impl()->backward_fn = [xi, o]() {
       o->EnsureGrad();
       xi->EnsureGrad();
-      for (size_t i = 0; i < o->grad.size(); ++i) {
-        if (xi->data[i] > 0.0f) xi->grad[i] += o->grad[i];
-      }
+      ParallelElems(o->grad.size(), [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          if (xi->data[i] > 0.0f) xi->grad[i] += o->grad[i];
+        }
+      });
     };
   }
   return out;
@@ -261,18 +262,22 @@ Tensor LeakyRelu(const Tensor& x, float slope) {
   Tensor out = MakeOutput(x.shape(), {x.impl()});
   const auto& xv = x.data();
   auto& ov = out.data();
-  for (size_t i = 0; i < ov.size(); ++i) {
-    ov[i] = xv[i] > 0.0f ? xv[i] : slope * xv[i];
-  }
+  ParallelElems(ov.size(), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      ov[i] = xv[i] > 0.0f ? xv[i] : slope * xv[i];
+    }
+  });
   if (out.requires_grad()) {
     Impl xi = x.impl();
     TensorImpl* o = out.impl().get();
     out.impl()->backward_fn = [xi, o, slope]() {
       o->EnsureGrad();
       xi->EnsureGrad();
-      for (size_t i = 0; i < o->grad.size(); ++i) {
-        xi->grad[i] += o->grad[i] * (xi->data[i] > 0.0f ? 1.0f : slope);
-      }
+      ParallelElems(o->grad.size(), [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          xi->grad[i] += o->grad[i] * (xi->data[i] > 0.0f ? 1.0f : slope);
+        }
+      });
     };
   }
   return out;
@@ -299,17 +304,21 @@ Tensor Tanh(const Tensor& x) {
   Tensor out = MakeOutput(x.shape(), {x.impl()});
   const auto& xv = x.data();
   auto& ov = out.data();
-  for (size_t i = 0; i < ov.size(); ++i) ov[i] = std::tanh(xv[i]);
+  ParallelElems(ov.size(), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) ov[i] = std::tanh(xv[i]);
+  });
   if (out.requires_grad()) {
     Impl xi = x.impl();
     TensorImpl* o = out.impl().get();
     out.impl()->backward_fn = [xi, o]() {
       o->EnsureGrad();
       xi->EnsureGrad();
-      for (size_t i = 0; i < o->grad.size(); ++i) {
-        float y = o->data[i];
-        xi->grad[i] += o->grad[i] * (1.0f - y * y);
-      }
+      ParallelElems(o->grad.size(), [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          float y = o->data[i];
+          xi->grad[i] += o->grad[i] * (1.0f - y * y);
+        }
+      });
     };
   }
   return out;
@@ -319,19 +328,23 @@ Tensor Sigmoid(const Tensor& x) {
   Tensor out = MakeOutput(x.shape(), {x.impl()});
   const auto& xv = x.data();
   auto& ov = out.data();
-  for (size_t i = 0; i < ov.size(); ++i) {
-    ov[i] = 1.0f / (1.0f + std::exp(-xv[i]));
-  }
+  ParallelElems(ov.size(), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      ov[i] = 1.0f / (1.0f + std::exp(-xv[i]));
+    }
+  });
   if (out.requires_grad()) {
     Impl xi = x.impl();
     TensorImpl* o = out.impl().get();
     out.impl()->backward_fn = [xi, o]() {
       o->EnsureGrad();
       xi->EnsureGrad();
-      for (size_t i = 0; i < o->grad.size(); ++i) {
-        float y = o->data[i];
-        xi->grad[i] += o->grad[i] * y * (1.0f - y);
-      }
+      ParallelElems(o->grad.size(), [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          float y = o->data[i];
+          xi->grad[i] += o->grad[i] * y * (1.0f - y);
+        }
+      });
     };
   }
   return out;
@@ -346,6 +359,8 @@ Tensor Dropout(const Tensor& x, float p, bool training, Rng* rng) {
   auto& ov = out.data();
   float keep_scale = 1.0f / (1.0f - p);
   auto mask = std::make_shared<std::vector<float>>(xv.size(), 0.0f);
+  // The mask consumes the caller's RNG stream element by element; kept
+  // serial so the stream is independent of threading.
   for (size_t i = 0; i < xv.size(); ++i) {
     if (!rng->Bernoulli(p)) (*mask)[i] = keep_scale;
     ov[i] = xv[i] * (*mask)[i];
@@ -356,9 +371,11 @@ Tensor Dropout(const Tensor& x, float p, bool training, Rng* rng) {
     out.impl()->backward_fn = [xi, o, mask]() {
       o->EnsureGrad();
       xi->EnsureGrad();
-      for (size_t i = 0; i < o->grad.size(); ++i) {
-        xi->grad[i] += o->grad[i] * (*mask)[i];
-      }
+      ParallelElems(o->grad.size(), [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          xi->grad[i] += o->grad[i] * (*mask)[i];
+        }
+      });
     };
   }
   return out;
@@ -523,24 +540,46 @@ Tensor Gather(const Tensor& table, const std::vector<int>& ids) {
       MakeOutput({static_cast<int>(ids.size()), width}, {table.impl()});
   const auto& tv = table.data();
   auto& ov = out.data();
-  for (size_t r = 0; r < ids.size(); ++r) {
-    std::copy(tv.begin() + static_cast<size_t>(ids[r]) * width,
-              tv.begin() + static_cast<size_t>(ids[r] + 1) * width,
-              ov.begin() + r * width);
-  }
+  ParallelFor(0, static_cast<int64_t>(ids.size()),
+              std::max<int64_t>(1, kElemGrain / width),
+              [&](int64_t r0, int64_t r1) {
+                for (int64_t r = r0; r < r1; ++r) {
+                  std::copy(
+                      tv.begin() + static_cast<size_t>(ids[r]) * width,
+                      tv.begin() + static_cast<size_t>(ids[r] + 1) * width,
+                      ov.begin() + static_cast<size_t>(r) * width);
+                }
+              });
   if (out.requires_grad()) {
     Impl ti = table.impl();
     TensorImpl* o = out.impl().get();
     auto ids_copy = std::make_shared<std::vector<int>>(ids);
-    out.impl()->backward_fn = [ti, o, ids_copy, width]() {
+    out.impl()->backward_fn = [ti, o, ids_copy, vocab, width]() {
       o->EnsureGrad();
       ti->EnsureGrad();
-      for (size_t r = 0; r < ids_copy->size(); ++r) {
-        float* dst =
-            ti->grad.data() + static_cast<size_t>((*ids_copy)[r]) * width;
-        const float* src = o->grad.data() + r * width;
-        for (int c = 0; c < width; ++c) dst[c] += src[c];
-      }
+      // Scatter-add sharded by destination row: a chunk owns the table rows
+      // in [lo, hi) and walks the id list in order, accumulating only the
+      // ids it owns. Every table row is updated by exactly one chunk with a
+      // fixed accumulation order, so the result is race-free and
+      // bit-identical for any thread count. Each chunk rescans the id list,
+      // which is cheap next to the touched gradient rows; the scan also
+      // keeps the naturally sparse structure (only referenced rows are
+      // written) without a sort or per-thread buffers.
+      int64_t work =
+          static_cast<int64_t>(ids_copy->size()) * width;
+      int64_t shard_rows =
+          work < kElemGrain
+              ? vocab  // single shard: plain serial scatter
+              : std::max<int64_t>(64, vocab / (GetNumThreads() * 4));
+      ParallelFor(0, vocab, shard_rows, [&](int64_t lo, int64_t hi) {
+        for (size_t r = 0; r < ids_copy->size(); ++r) {
+          int id = (*ids_copy)[r];
+          if (id < lo || id >= hi) continue;
+          float* dst = ti->grad.data() + static_cast<size_t>(id) * width;
+          const float* src = o->grad.data() + r * width;
+          for (int c = 0; c < width; ++c) dst[c] += src[c];
+        }
+      });
     };
   }
   return out;
@@ -614,29 +653,42 @@ Tensor MeanAxis1(const Tensor& x) {
   const auto& xv = x.data();
   auto& ov = out.data();
   float inv = 1.0f / static_cast<float>(length);
-  for (int b = 0; b < batch; ++b) {
-    float* orow = ov.data() + static_cast<size_t>(b) * width;
-    for (int l = 0; l < length; ++l) {
-      const float* row =
-          xv.data() + (static_cast<size_t>(b) * length + l) * width;
-      for (int e = 0; e < width; ++e) orow[e] += row[e];
-    }
-    for (int e = 0; e < width; ++e) orow[e] *= inv;
-  }
+  int64_t per_doc = static_cast<int64_t>(length) * width;
+  ParallelFor(0, batch, std::max<int64_t>(1, kElemGrain / per_doc),
+              [&](int64_t b0, int64_t b1) {
+                for (int64_t b = b0; b < b1; ++b) {
+                  float* orow = ov.data() + static_cast<size_t>(b) * width;
+                  for (int l = 0; l < length; ++l) {
+                    const float* row =
+                        xv.data() +
+                        (static_cast<size_t>(b) * length + l) * width;
+                    for (int e = 0; e < width; ++e) orow[e] += row[e];
+                  }
+                  for (int e = 0; e < width; ++e) orow[e] *= inv;
+                }
+              });
   if (out.requires_grad()) {
     Impl xi = x.impl();
     TensorImpl* o = out.impl().get();
-    out.impl()->backward_fn = [xi, o, batch, length, width, inv]() {
+    out.impl()->backward_fn = [xi, o, batch, length, width, inv,
+                               per_doc]() {
       o->EnsureGrad();
       xi->EnsureGrad();
-      for (int b = 0; b < batch; ++b) {
-        const float* grow = o->grad.data() + static_cast<size_t>(b) * width;
-        for (int l = 0; l < length; ++l) {
-          float* row =
-              xi->grad.data() + (static_cast<size_t>(b) * length + l) * width;
-          for (int e = 0; e < width; ++e) row[e] += inv * grow[e];
-        }
-      }
+      ParallelFor(0, batch, std::max<int64_t>(1, kElemGrain / per_doc),
+                  [&](int64_t b0, int64_t b1) {
+                    for (int64_t b = b0; b < b1; ++b) {
+                      const float* grow =
+                          o->grad.data() + static_cast<size_t>(b) * width;
+                      for (int l = 0; l < length; ++l) {
+                        float* row =
+                            xi->grad.data() +
+                            (static_cast<size_t>(b) * length + l) * width;
+                        for (int e = 0; e < width; ++e) {
+                          row[e] += inv * grow[e];
+                        }
+                      }
+                    }
+                  });
     };
   }
   return out;
@@ -649,33 +701,46 @@ Tensor Softmax(const Tensor& x) {
   Tensor out = MakeOutput(x.shape(), {x.impl()});
   const auto& xv = x.data();
   auto& ov = out.data();
-  for (int r = 0; r < rows; ++r) {
-    const float* xr = xv.data() + static_cast<size_t>(r) * cols;
-    float* orow = ov.data() + static_cast<size_t>(r) * cols;
-    float max_v = xr[0];
-    for (int c = 1; c < cols; ++c) max_v = std::max(max_v, xr[c]);
-    float sum = 0.0f;
-    for (int c = 0; c < cols; ++c) {
-      orow[c] = std::exp(xr[c] - max_v);
-      sum += orow[c];
-    }
-    float inv = 1.0f / sum;
-    for (int c = 0; c < cols; ++c) orow[c] *= inv;
-  }
+  ParallelFor(0, rows, std::max<int64_t>(1, kElemGrain / cols),
+              [&](int64_t r0, int64_t r1) {
+                for (int64_t r = r0; r < r1; ++r) {
+                  const float* xr = xv.data() + static_cast<size_t>(r) * cols;
+                  float* orow = ov.data() + static_cast<size_t>(r) * cols;
+                  float max_v = xr[0];
+                  for (int c = 1; c < cols; ++c) {
+                    max_v = std::max(max_v, xr[c]);
+                  }
+                  float sum = 0.0f;
+                  for (int c = 0; c < cols; ++c) {
+                    orow[c] = std::exp(xr[c] - max_v);
+                    sum += orow[c];
+                  }
+                  float inv = 1.0f / sum;
+                  for (int c = 0; c < cols; ++c) orow[c] *= inv;
+                }
+              });
   if (out.requires_grad()) {
     Impl xi = x.impl();
     TensorImpl* o = out.impl().get();
     out.impl()->backward_fn = [xi, o, rows, cols]() {
       o->EnsureGrad();
       xi->EnsureGrad();
-      for (int r = 0; r < rows; ++r) {
-        const float* y = o->data.data() + static_cast<size_t>(r) * cols;
-        const float* dy = o->grad.data() + static_cast<size_t>(r) * cols;
-        float* dx = xi->grad.data() + static_cast<size_t>(r) * cols;
-        float dot = 0.0f;
-        for (int c = 0; c < cols; ++c) dot += y[c] * dy[c];
-        for (int c = 0; c < cols; ++c) dx[c] += y[c] * (dy[c] - dot);
-      }
+      ParallelFor(0, rows, std::max<int64_t>(1, kElemGrain / cols),
+                  [&](int64_t r0, int64_t r1) {
+                    for (int64_t r = r0; r < r1; ++r) {
+                      const float* y =
+                          o->data.data() + static_cast<size_t>(r) * cols;
+                      const float* dy =
+                          o->grad.data() + static_cast<size_t>(r) * cols;
+                      float* dx =
+                          xi->grad.data() + static_cast<size_t>(r) * cols;
+                      float dot = 0.0f;
+                      for (int c = 0; c < cols; ++c) dot += y[c] * dy[c];
+                      for (int c = 0; c < cols; ++c) {
+                        dx[c] += y[c] * (dy[c] - dot);
+                      }
+                    }
+                  });
     };
   }
   return out;
@@ -684,6 +749,7 @@ Tensor Softmax(const Tensor& x) {
 Tensor SumAll(const Tensor& x) {
   Tensor out = MakeOutput({1}, {x.impl()});
   const auto& xv = x.data();
+  // Serial double accumulation: the canonical fixed-order reduction.
   double acc = 0.0;
   for (float v : xv) acc += v;
   out.data()[0] = static_cast<float>(acc);
@@ -747,28 +813,33 @@ Tensor TextConvMaxPool(const Tensor& input, const Tensor& weight,
       static_cast<size_t>(batch) * channels, 0);
 
   int filter_len = kernel_size * embed;
-#pragma omp parallel for schedule(static)
-  for (int b = 0; b < batch; ++b) {
-    std::vector<float> scores(static_cast<size_t>(windows) * channels, 0.0f);
-    const float* doc = x + static_cast<size_t>(b) * length * embed;
-    // scores[t, c] = <doc window t, filter c>; windows overlap via lda=embed.
-    GemmNTStrided(doc, embed, w, scores.data(), windows, filter_len, channels);
-    for (int c = 0; c < channels; ++c) {
-      float best = scores[c];
-      int best_t = 0;
-      for (int t = 1; t < windows; ++t) {
-        float v = scores[static_cast<size_t>(t) * channels + c];
-        if (v > best) {
-          best = v;
-          best_t = t;
+  // Batch-parallel: each document's scores GEMM + max-pool is independent.
+  ParallelFor(0, batch, 1, [&](int64_t b0, int64_t b1) {
+    std::vector<float> scores(static_cast<size_t>(windows) * channels);
+    for (int64_t b = b0; b < b1; ++b) {
+      std::fill(scores.begin(), scores.end(), 0.0f);
+      const float* doc = x + static_cast<size_t>(b) * length * embed;
+      // scores[t, c] = <doc window t, filter c>; windows overlap via
+      // lda=embed.
+      GemmNTStrided(doc, embed, w, scores.data(), windows, filter_len,
+                    channels);
+      for (int c = 0; c < channels; ++c) {
+        float best = scores[c];
+        int best_t = 0;
+        for (int t = 1; t < windows; ++t) {
+          float v = scores[static_cast<size_t>(t) * channels + c];
+          if (v > best) {
+            best = v;
+            best_t = t;
+          }
         }
+        best += bvec[c];
+        // max-over-time then ReLU == ReLU then max (ReLU is monotone).
+        o[static_cast<size_t>(b) * channels + c] = best > 0.0f ? best : 0.0f;
+        (*argmax)[static_cast<size_t>(b) * channels + c] = best_t;
       }
-      best += bvec[c];
-      // max-over-time then ReLU == ReLU then max (ReLU is monotone).
-      o[static_cast<size_t>(b) * channels + c] = best > 0.0f ? best : 0.0f;
-      (*argmax)[static_cast<size_t>(b) * channels + c] = best_t;
     }
-  }
+  });
 
   if (out.requires_grad()) {
     Impl xi = input.impl(), wi = weight.impl(), bi = bias.impl();
@@ -782,30 +853,51 @@ Tensor TextConvMaxPool(const Tensor& input, const Tensor& weight,
       if (need_x) xi->EnsureGrad();
       if (need_w) wi->EnsureGrad();
       if (need_b) bi->EnsureGrad();
-      for (int b = 0; b < batch; ++b) {
-        const float* doc =
-            xi->data.data() + static_cast<size_t>(b) * length * embed;
-        float* ddoc =
-            need_x ? xi->grad.data() + static_cast<size_t>(b) * length * embed
-                   : nullptr;
-        for (int c = 0; c < channels; ++c) {
-          size_t oc = static_cast<size_t>(b) * channels + c;
-          float g = oi->grad[oc];
-          if (g == 0.0f || oi->data[oc] <= 0.0f) continue;
-          int t = (*argmax)[oc];
-          const float* win = doc + static_cast<size_t>(t) * embed;
-          const float* wrow = wi->data.data() + static_cast<size_t>(c) * filter_len;
-          if (need_b) bi->grad[c] += g;
-          if (need_w) {
+      // Two sharded passes instead of one serial loop: documents own their
+      // input-gradient rows (windows of different channels may overlap
+      // inside one document, but never across documents), and channels own
+      // their filter/bias gradient rows. Both passes walk the other axis in
+      // ascending order, so gradients are bit-identical for any thread
+      // count.
+      if (need_x) {
+        ParallelFor(0, batch, 1, [&](int64_t b0, int64_t b1) {
+          for (int64_t b = b0; b < b1; ++b) {
+            float* ddoc =
+                xi->grad.data() + static_cast<size_t>(b) * length * embed;
+            for (int c = 0; c < channels; ++c) {
+              size_t oc = static_cast<size_t>(b) * channels + c;
+              float g = oi->grad[oc];
+              if (g == 0.0f || oi->data[oc] <= 0.0f) continue;
+              int t = (*argmax)[oc];
+              const float* wrow =
+                  wi->data.data() + static_cast<size_t>(c) * filter_len;
+              float* dwin = ddoc + static_cast<size_t>(t) * embed;
+              for (int j = 0; j < filter_len; ++j) dwin[j] += g * wrow[j];
+            }
+          }
+        });
+      }
+      if (need_w || need_b) {
+        ParallelFor(0, channels, 1, [&](int64_t c0, int64_t c1) {
+          for (int64_t c = c0; c < c1; ++c) {
             float* dwrow =
-                wi->grad.data() + static_cast<size_t>(c) * filter_len;
-            for (int j = 0; j < filter_len; ++j) dwrow[j] += g * win[j];
+                need_w ? wi->grad.data() + static_cast<size_t>(c) * filter_len
+                       : nullptr;
+            for (int b = 0; b < batch; ++b) {
+              size_t oc = static_cast<size_t>(b) * channels + c;
+              float g = oi->grad[oc];
+              if (g == 0.0f || oi->data[oc] <= 0.0f) continue;
+              if (need_b) bi->grad[c] += g;
+              if (need_w) {
+                int t = (*argmax)[oc];
+                const float* win =
+                    xi->data.data() +
+                    (static_cast<size_t>(b) * length + t) * embed;
+                for (int j = 0; j < filter_len; ++j) dwrow[j] += g * win[j];
+              }
+            }
           }
-          if (need_x) {
-            float* dwin = ddoc + static_cast<size_t>(t) * embed;
-            for (int j = 0; j < filter_len; ++j) dwin[j] += g * wrow[j];
-          }
-        }
+        });
       }
     };
   }

@@ -1,0 +1,105 @@
+// Thread-count determinism of full training: the pool size must change
+// wall-clock only, never a single bit of the losses, parameters, or
+// evaluation metrics.
+
+#include <gtest/gtest.h>
+
+#include "common/threadpool.h"
+#include "core/trainer.h"
+#include "data/splits.h"
+#include "data/synthetic.h"
+
+namespace omnimatch {
+namespace core {
+namespace {
+
+data::SyntheticConfig SmallWorldConfig() {
+  data::SyntheticConfig c;
+  c.num_users = 60;
+  c.items_per_domain = 30;
+  c.mean_reviews_per_user = 5;
+  c.seed = 21;
+  return c;
+}
+
+OmniMatchConfig SmallTrainConfig(int num_threads) {
+  OmniMatchConfig config;
+  config.embed_dim = 8;
+  config.cnn_channels = 4;
+  config.kernel_sizes = {2, 3};
+  config.feature_dim = 8;
+  config.projection_dim = 4;
+  config.doc_len = 16;
+  config.item_doc_len = 16;
+  config.batch_size = 16;
+  config.epochs = 2;
+  config.aux_eval_samples = 2;
+  config.seed = 31;
+  config.num_threads = num_threads;
+  return config;
+}
+
+struct RunResult {
+  std::vector<double> losses;
+  std::vector<std::vector<float>> params;
+  double rmse = 0.0;
+};
+
+RunResult TrainWithThreads(const data::CrossDomainDataset& cross,
+                           const data::ColdStartSplit& split,
+                           int num_threads) {
+  OmniMatchTrainer trainer(SmallTrainConfig(num_threads), &cross, split);
+  EXPECT_TRUE(trainer.Prepare().ok());
+  TrainStats stats = trainer.Train();
+  RunResult result;
+  result.losses = stats.total_loss;
+  for (const nn::Tensor& p : trainer.model()->Parameters()) {
+    result.params.push_back(p.data());
+  }
+  result.rmse = trainer.Evaluate(trainer.split().test_users).rmse;
+  return result;
+}
+
+TEST(DeterminismTest, TrainingIsBitIdenticalAcrossThreadCounts) {
+  data::SyntheticWorld world(SmallWorldConfig());
+  data::CrossDomainDataset cross = world.MakePair("Books", "Movies");
+  Rng rng(5);
+  data::ColdStartSplit split = data::MakeColdStartSplit(cross, &rng);
+
+  RunResult serial = TrainWithThreads(cross, split, 1);
+  RunResult threaded = TrainWithThreads(cross, split, 4);
+
+  ASSERT_FALSE(serial.losses.empty());
+  ASSERT_EQ(serial.losses.size(), threaded.losses.size());
+  for (size_t e = 0; e < serial.losses.size(); ++e) {
+    EXPECT_EQ(serial.losses[e], threaded.losses[e]) << "epoch " << e;
+  }
+
+  ASSERT_EQ(serial.params.size(), threaded.params.size());
+  for (size_t p = 0; p < serial.params.size(); ++p) {
+    EXPECT_EQ(serial.params[p], threaded.params[p]) << "parameter " << p;
+  }
+
+  EXPECT_EQ(serial.rmse, threaded.rmse);
+  SetNumThreads(0);
+}
+
+TEST(DeterminismTest, RepeatedThreadedRunsAreBitIdentical) {
+  data::SyntheticWorld world(SmallWorldConfig());
+  data::CrossDomainDataset cross = world.MakePair("Books", "Movies");
+  Rng rng(5);
+  data::ColdStartSplit split = data::MakeColdStartSplit(cross, &rng);
+
+  RunResult first = TrainWithThreads(cross, split, 3);
+  RunResult second = TrainWithThreads(cross, split, 3);
+  ASSERT_EQ(first.losses.size(), second.losses.size());
+  for (size_t e = 0; e < first.losses.size(); ++e) {
+    EXPECT_EQ(first.losses[e], second.losses[e]) << "epoch " << e;
+  }
+  EXPECT_EQ(first.rmse, second.rmse);
+  SetNumThreads(0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace omnimatch
