@@ -4,11 +4,17 @@
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart [--epochs=8] [--seed=7] [--verbose]
+//
+// Crash-safe training: add --checkpoint_every=2 --checkpoint_dir=ckpt to
+// save a resumable checkpoint every 2 epochs, and --resume (latest in the
+// checkpoint dir) or --resume=path/to/checkpoint_epoch4.omck to continue a
+// killed run bit-for-bit.
 
 #include <cstdio>
 
 #include "common/flags.h"
 #include "common/rng.h"
+#include "core/checkpoint.h"
 #include "core/trainer.h"
 #include "data/splits.h"
 #include "data/synthetic.h"
@@ -60,11 +66,36 @@ int main(int argc, char** argv) {
     config.adam_lr = static_cast<float>(
         flags.GetDouble("adam_lr", config.adam_lr));
   }
+  config.checkpoint_every = flags.GetInt("checkpoint_every", 0);
+  config.checkpoint_dir = flags.GetString("checkpoint_dir", "checkpoints");
   core::OmniMatchTrainer trainer(config, &cross, split);
   Status status = trainer.Prepare();
   if (!status.ok()) {
     std::fprintf(stderr, "Prepare failed: %s\n", status.ToString().c_str());
     return 1;
+  }
+  if (flags.Has("resume")) {
+    // Bare --resume picks the newest checkpoint in the checkpoint dir;
+    // --resume=<path> loads that exact file.
+    std::string resume_path = flags.GetString("resume", "");
+    if (resume_path.empty() || resume_path == "true") {
+      Result<std::string> latest =
+          core::FindLatestCheckpoint(config.checkpoint_dir);
+      if (!latest.ok()) {
+        std::fprintf(stderr, "--resume: %s\n",
+                     latest.status().ToString().c_str());
+        return 1;
+      }
+      resume_path = latest.value();
+    }
+    Status resumed = trainer.LoadCheckpoint(resume_path);
+    if (!resumed.ok()) {
+      std::fprintf(stderr, "LoadCheckpoint failed: %s\n",
+                   resumed.ToString().c_str());
+      return 1;
+    }
+    std::printf("Resumed from %s (epoch %d)\n", resume_path.c_str(),
+                trainer.epochs_completed());
   }
   core::TrainStats stats = trainer.Train();
   std::printf("Trained %d steps in %.1f s (final loss %.4f)\n", stats.steps,

@@ -15,7 +15,9 @@ eval::Metrics EvaluateRecommender(const Recommender& model,
       acc.Add(model.PredictRating(u, r.item_id), r.rating);
     }
   }
-  return acc.Finalize();
+  // An empty user list yields an empty Metrics (count == 0), not an abort.
+  Result<eval::Metrics> result = acc.Finalize();
+  return result.ok() ? result.value() : eval::Metrics{};
 }
 
 std::vector<RatingTriple> VisibleRatings(const data::CrossDomainDataset& cross,

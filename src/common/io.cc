@@ -1,0 +1,71 @@
+#include "common/io.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace omnimatch {
+
+static_assert(std::endian::native == std::endian::little,
+              "checkpoint format is little-endian only");
+static_assert(sizeof(float) == 4 && sizeof(double) == 8,
+              "checkpoint format assumes IEEE-754 floats");
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError(path + ": " + std::strerror(errno));
+  }
+  std::string data;
+  char chunk[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    data.append(chunk, n);
+  }
+  bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Status::IoError("read failed for " + path);
+  return data;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view data) {
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError(tmp + ": " + std::strerror(errno));
+  }
+  bool ok = data.empty() ||
+            std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  ok = ok && std::fflush(f) == 0;
+  // fsync before rename: otherwise the rename can hit disk before the data
+  // and a power loss leaves a valid name pointing at garbage.
+  ok = ok && ::fsync(fileno(f)) == 0;
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::IoError("write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError(
+        StrFormat("rename %s -> %s: %s", tmp.c_str(), path.c_str(),
+                  std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status EnsureDirectory(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::OK();
+  }
+  return Status::IoError("mkdir " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace omnimatch

@@ -1,0 +1,119 @@
+#ifndef OMNIMATCH_COMMON_IO_H_
+#define OMNIMATCH_COMMON_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+
+namespace omnimatch {
+
+/// Reads a whole binary file into a string. IoError when the file cannot be
+/// opened or read.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Crash-safe file write: the payload goes to `<path>.tmp`, is flushed and
+/// fsync'd, and only then renamed over `path`. A crash at any point leaves
+/// either the old file or the new file — never a torn half-write. The tmp
+/// file lives in the same directory so the rename stays atomic (same
+/// filesystem).
+Status WriteFileAtomic(const std::string& path, std::string_view data);
+
+/// Creates `path` as a directory if it does not already exist (single
+/// level, like mkdir -p for one component at a time). OK when the directory
+/// already exists; IoError otherwise.
+Status EnsureDirectory(const std::string& path);
+
+/// Append-only little-endian binary encoder for checkpoint payloads.
+///
+/// All multi-byte values are written via memcpy in host order; the library
+/// targets little-endian platforms only (asserted in io.cc) so files are
+/// portable across the machines we run on.
+class ByteWriter {
+ public:
+  template <typename T>
+  void Write(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    size_t at = buffer_.size();
+    buffer_.resize(at + sizeof(T));
+    std::memcpy(buffer_.data() + at, &value, sizeof(T));
+  }
+
+  /// Length-prefixed (u64) raw byte blob.
+  void WriteBytes(const void* data, size_t size) {
+    Write<uint64_t>(size);
+    size_t at = buffer_.size();
+    buffer_.resize(at + size);
+    if (size > 0) std::memcpy(buffer_.data() + at, data, size);
+  }
+
+  void WriteString(std::string_view s) { WriteBytes(s.data(), s.size()); }
+
+  /// Length-prefixed vector of trivially copyable elements.
+  template <typename T>
+  void WriteVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteBytes(v.data(), v.size() * sizeof(T));
+  }
+
+  const std::string& buffer() const { return buffer_; }
+  std::string Release() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Bounds-checked reader over a byte buffer written by ByteWriter. Every
+/// accessor returns false (instead of reading past the end) when the buffer
+/// is truncated, so corrupt checkpoints surface as clean Status errors.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  template <typename T>
+  bool Read(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (remaining() < sizeof(T)) return false;
+    std::memcpy(out, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadString(std::string* out) {
+    uint64_t size = 0;
+    if (!Read(&size) || remaining() < size) return false;
+    out->assign(data_.data() + pos_, static_cast<size_t>(size));
+    pos_ += static_cast<size_t>(size);
+    return true;
+  }
+
+  /// Reads a length-prefixed vector; the stored byte count must be an exact
+  /// multiple of sizeof(T).
+  template <typename T>
+  bool ReadVector(std::vector<T>* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t bytes = 0;
+    if (!Read(&bytes) || remaining() < bytes || bytes % sizeof(T) != 0) {
+      return false;
+    }
+    out->resize(static_cast<size_t>(bytes / sizeof(T)));
+    if (bytes > 0) std::memcpy(out->data(), data_.data() + pos_, bytes);
+    pos_ += static_cast<size_t>(bytes);
+    return true;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return remaining() == 0; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_COMMON_IO_H_

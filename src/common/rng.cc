@@ -82,6 +82,22 @@ int Rng::SampleDiscrete(const std::vector<double>& weights) {
   return static_cast<int>(weights.size()) - 1;
 }
 
+Rng::State Rng::GetState() const {
+  State s;
+  s.state = state_;
+  s.inc = inc_;
+  s.has_cached_normal = has_cached_normal_ ? 1 : 0;
+  s.cached_normal = cached_normal_;
+  return s;
+}
+
+void Rng::SetState(const State& state) {
+  state_ = state.state;
+  inc_ = state.inc;
+  has_cached_normal_ = state.has_cached_normal != 0;
+  cached_normal_ = state.cached_normal;
+}
+
 Rng Rng::Fork() {
   uint64_t child_seed =
       (static_cast<uint64_t>(NextU32()) << 32) | NextU32();

@@ -64,6 +64,20 @@ class Rng {
   /// top-level seed.
   Rng Fork();
 
+  /// Complete serializable generator state. Restoring a captured state
+  /// resumes the stream exactly where it was — including the cached
+  /// Box-Muller value — which the checkpoint subsystem relies on for
+  /// bit-identical resume.
+  struct State {
+    uint64_t state = 0;
+    uint64_t inc = 0;
+    uint8_t has_cached_normal = 0;
+    double cached_normal = 0.0;
+  };
+
+  State GetState() const;
+  void SetState(const State& state);
+
  private:
   uint64_t state_;
   uint64_t inc_;

@@ -1,10 +1,31 @@
 #include "common/string_util.h"
 
 #include <cctype>
+#include <charconv>
 #include <cstdarg>
 #include <cstdio>
 
 namespace omnimatch {
+
+namespace {
+template <typename T>
+bool ParseWhole(std::string_view text, T* out) {
+  T value{};
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc() || ptr != end) return false;
+  *out = value;
+  return true;
+}
+}  // namespace
+
+bool ParseInt32(std::string_view text, int* out) {
+  return ParseWhole(text, out);
+}
+
+bool ParseFloat(std::string_view text, float* out) {
+  return ParseWhole(text, out);
+}
 
 std::vector<std::string> Split(std::string_view text, char delim) {
   std::vector<std::string> out;

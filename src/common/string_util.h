@@ -30,6 +30,17 @@ bool StartsWith(std::string_view text, std::string_view prefix);
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// Strict decimal integer parse via std::from_chars: the ENTIRE string must
+/// be a valid in-range int ("3x", "", " 4" and overflow all fail). Returns
+/// false without touching *out on failure. Unlike std::atoi, malformed
+/// input is distinguishable from a legitimate 0.
+bool ParseInt32(std::string_view text, int* out);
+
+/// Strict float parse with the same whole-string contract. Accepts the
+/// std::from_chars general format (fixed or scientific); rejects trailing
+/// garbage, empty input, hex, and values outside float range.
+bool ParseFloat(std::string_view text, float* out);
+
 }  // namespace omnimatch
 
 #endif  // OMNIMATCH_COMMON_STRING_UTIL_H_

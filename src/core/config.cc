@@ -1,5 +1,6 @@
 #include "core/config.h"
 
+#include "common/io.h"
 #include "common/string_util.h"
 
 namespace omnimatch {
@@ -55,7 +56,63 @@ Status OmniMatchConfig::Validate() const {
   if (num_threads < 0) {
     return Status::InvalidArgument("num_threads must be >= 0 (0 = auto)");
   }
+  if (checkpoint_every < 0) {
+    return Status::InvalidArgument("checkpoint_every must be >= 0 (0 = off)");
+  }
+  if (checkpoint_every > 0 && checkpoint_dir.empty()) {
+    return Status::InvalidArgument(
+        "checkpoint_every > 0 requires a checkpoint_dir");
+  }
   return Status::OK();
+}
+
+uint64_t OmniMatchConfig::Fingerprint() const {
+  // Serialize the trajectory-shaping fields in a fixed order, then FNV-1a
+  // the bytes. Field order is part of the checkpoint format: changing it
+  // (or adding a field) invalidates old checkpoints, which is exactly the
+  // safe behaviour.
+  ByteWriter w;
+  w.Write<int32_t>(embed_dim);
+  w.Write<int32_t>(cnn_channels);
+  for (int k : kernel_sizes) w.Write<int32_t>(k);
+  w.Write<int32_t>(feature_dim);
+  w.Write<int32_t>(projection_dim);
+  w.Write<int32_t>(doc_len);
+  w.Write<int32_t>(item_doc_len);
+  w.Write<int32_t>(num_rating_classes);
+  w.Write<float>(dropout);
+  w.Write<int32_t>(batch_size);
+  w.Write<int32_t>(static_cast<int32_t>(optimizer));
+  w.Write<float>(learning_rate);
+  w.Write<float>(adadelta_rho);
+  w.Write<float>(adam_lr);
+  w.Write<float>(grad_clip_norm);
+  w.Write<uint8_t>(select_best_epoch ? 1 : 0);
+  w.Write<float>(alpha);
+  w.Write<float>(beta);
+  w.Write<float>(temperature);
+  w.Write<float>(grl_lambda);
+  w.Write<uint8_t>(use_interaction_features ? 1 : 0);
+  w.Write<uint8_t>(use_mean_embedding_feature ? 1 : 0);
+  w.Write<float>(aux_augmentation_prob);
+  w.Write<uint8_t>(use_hybrid_inference ? 1 : 0);
+  w.Write<int32_t>(aux_eval_samples);
+  w.Write<uint8_t>(shuffle_reviews_in_training ? 1 : 0);
+  w.Write<float>(word_dropout);
+  w.Write<uint8_t>(use_scl ? 1 : 0);
+  w.Write<uint8_t>(use_domain_adversarial ? 1 : 0);
+  w.Write<uint8_t>(use_aux_reviews ? 1 : 0);
+  w.Write<int32_t>(static_cast<int32_t>(extractor));
+  w.Write<int32_t>(static_cast<int32_t>(text_field));
+  w.Write<int32_t>(min_vocab_count);
+  w.Write<uint64_t>(seed);
+
+  uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64-bit offset basis
+  for (unsigned char c : w.buffer()) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
 }
 
 }  // namespace core

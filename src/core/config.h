@@ -2,6 +2,7 @@
 #define OMNIMATCH_CORE_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -127,8 +128,25 @@ struct OmniMatchConfig {
   /// bit-identical for every setting; see DESIGN.md "Threading".
   int num_threads = 0;
 
+  // --- checkpointing (see DESIGN.md "Checkpoint format") ---
+  /// Save a crash-safe checkpoint into `checkpoint_dir` every this many
+  /// epochs. 0 disables periodic checkpointing.
+  int checkpoint_every = 0;
+  /// Directory for periodic checkpoints; created on first save. Required
+  /// (non-empty) when checkpoint_every > 0.
+  std::string checkpoint_dir;
+
   /// Validates ranges; returns InvalidArgument describing the first problem.
   Status Validate() const;
+
+  /// Stable 64-bit digest of every field that shapes the training
+  /// trajectory (architecture, optimization, losses, augmentation, seed).
+  /// Stored in checkpoints and verified on load so a checkpoint can never
+  /// be resumed under a config that would silently diverge. Deliberately
+  /// EXCLUDED: `epochs` (resuming with a longer schedule is legitimate),
+  /// `verbose`, `num_threads` (results are thread-count invariant) and the
+  /// checkpoint fields themselves.
+  uint64_t Fingerprint() const;
 };
 
 }  // namespace core

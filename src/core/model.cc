@@ -179,5 +179,29 @@ std::vector<Tensor> OmniMatchModel::Parameters() const {
   });
 }
 
+std::vector<Rng::State> OmniMatchModel::RngStates() const {
+  return {
+      dropout_rng_.GetState(),
+      projection_->rng_state(),
+      domain_classifier_invariant_->rng_state(),
+      domain_classifier_specific_->rng_state(),
+      rating_classifier_->rng_state(),
+  };
+}
+
+Status OmniMatchModel::SetRngStates(const std::vector<Rng::State>& states) {
+  if (states.size() != 5) {
+    return Status::InvalidArgument(
+        "model expects 5 dropout RNG states, got " +
+        std::to_string(states.size()));
+  }
+  dropout_rng_.SetState(states[0]);
+  projection_->set_rng_state(states[1]);
+  domain_classifier_invariant_->set_rng_state(states[2]);
+  domain_classifier_specific_->set_rng_state(states[3]);
+  rating_classifier_->set_rng_state(states[4]);
+  return Status::OK();
+}
+
 }  // namespace core
 }  // namespace omnimatch

@@ -71,6 +71,22 @@ class OmniMatchModel : public nn::Module {
   const OmniMatchConfig& config() const { return config_; }
   int vocab_size() const { return vocab_size_; }
 
+  /// The model's private dropout stream. Exposed so checkpoints can capture
+  /// and restore it — training consumes it every batch, and resuming
+  /// bit-for-bit requires the exact stream position.
+  Rng* dropout_rng() { return &dropout_rng_; }
+
+  /// Every dropout stream the model owns, in a fixed order: the pooled-
+  /// feature stream plus one per Mlp (projection, both domain classifiers,
+  /// rating classifier). Checkpoints store ALL of them — each advances
+  /// independently during training, so restoring only one would desync the
+  /// masks after resume.
+  std::vector<Rng::State> RngStates() const;
+
+  /// Restores the streams captured by RngStates(). InvalidArgument when the
+  /// count does not match this architecture.
+  Status SetRngStates(const std::vector<Rng::State>& states);
+
  private:
   /// Pooled text features for a batch of documents ([B, extractor_dim]).
   nn::Tensor RunExtractor(const nn::TextCnn* cnn,

@@ -10,6 +10,8 @@
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/threadpool.h"
+#include "common/io.h"
+#include "core/checkpoint.h"
 #include "nn/losses.h"
 #include "nn/ops.h"
 #include "text/document.h"
@@ -58,6 +60,15 @@ Status OmniMatchTrainer::Prepare() {
     optimizer_ =
         std::make_unique<nn::Adam>(model_->Parameters(), config_.adam_lr);
   }
+  // Fresh resumable state; LoadCheckpoint overwrites it to continue a run.
+  sample_order_.resize(train_samples_.size());
+  for (size_t i = 0; i < sample_order_.size(); ++i) {
+    sample_order_[i] = static_cast<int>(i);
+  }
+  progress_ = TrainStats();
+  epochs_completed_ = 0;
+  best_rmse_ = 1e30;
+  best_params_.clear();
   prepared_ = true;
   if (config_.verbose) {
     OM_LOG(Info) << "prepared " << cross_->ScenarioName() << ": vocab "
@@ -405,62 +416,83 @@ void RestoreParams(std::vector<nn::Tensor>& params,
 
 TrainStats OmniMatchTrainer::Train() {
   OM_CHECK(prepared_) << "call Prepare() first";
-  TrainStats stats;
   Stopwatch watch;
-  std::vector<TrainSample> samples = train_samples_;
   const bool track_validation =
       config_.select_best_epoch && !split_.validation_users.empty();
   std::vector<nn::Tensor> params = model_->Parameters();
-  std::vector<std::vector<float>> best_params;
-  double best_rmse = 1e30;
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    rng_.Shuffle(samples);
+  // Resume-aware epoch loop: a fresh trainer starts at 0; one restored via
+  // LoadCheckpoint continues after the checkpointed epoch with the exact
+  // RNG streams and sample permutation of the original run, so the two
+  // trajectories are bit-identical.
+  for (int epoch = epochs_completed_; epoch < config_.epochs; ++epoch) {
+    rng_.Shuffle(sample_order_);
     double total = 0.0, rating = 0.0, scl = 0.0, domain = 0.0;
     int batches = 0;
-    for (size_t start = 0; start < samples.size();
+    for (size_t start = 0; start < sample_order_.size();
          start += static_cast<size_t>(config_.batch_size)) {
-      size_t end = std::min(samples.size(),
-                            start + static_cast<size_t>(config_.batch_size));
+      size_t end =
+          std::min(sample_order_.size(),
+                   start + static_cast<size_t>(config_.batch_size));
       if (end - start < 2) break;  // SupCon needs at least a pair
-      std::vector<TrainSample> batch(samples.begin() + start,
-                                     samples.begin() + end);
+      std::vector<TrainSample> batch;
+      batch.reserve(end - start);
+      for (size_t i = start; i < end; ++i) {
+        batch.push_back(train_samples_[static_cast<size_t>(
+            sample_order_[i])]);
+      }
       auto losses = TrainBatch(batch);
       total += losses[0];
       rating += losses[1];
       scl += losses[2];
       domain += losses[3];
       ++batches;
-      ++stats.steps;
+      ++progress_.steps;
     }
     if (batches == 0) break;
-    stats.total_loss.push_back(total / batches);
-    stats.rating_loss.push_back(rating / batches);
-    stats.scl_loss.push_back(scl / batches);
-    stats.domain_loss.push_back(domain / batches);
+    progress_.total_loss.push_back(total / batches);
+    progress_.rating_loss.push_back(rating / batches);
+    progress_.scl_loss.push_back(scl / batches);
+    progress_.domain_loss.push_back(domain / batches);
     if (track_validation) {
       double rmse = Evaluate(split_.validation_users).rmse;
-      stats.validation_rmse.push_back(rmse);
-      if (rmse < best_rmse) {
-        best_rmse = rmse;
-        best_params = SnapshotParams(params);
-        stats.best_epoch = epoch;
+      progress_.validation_rmse.push_back(rmse);
+      if (rmse < best_rmse_) {
+        best_rmse_ = rmse;
+        best_params_ = SnapshotParams(params);
+        progress_.best_epoch = epoch;
       }
     }
     if (config_.verbose) {
       OM_LOG(Info) << StrFormat(
           "epoch %d: total %.4f rating %.4f scl %.4f domain %.4f%s", epoch,
-          stats.total_loss.back(), stats.rating_loss.back(),
-          stats.scl_loss.back(), stats.domain_loss.back(),
+          progress_.total_loss.back(), progress_.rating_loss.back(),
+          progress_.scl_loss.back(), progress_.domain_loss.back(),
           track_validation
-              ? StrFormat(" val-rmse %.4f", stats.validation_rmse.back())
+              ? StrFormat(" val-rmse %.4f", progress_.validation_rmse.back())
                     .c_str()
               : "");
     }
+    epochs_completed_ = epoch + 1;
+    if (config_.checkpoint_every > 0 &&
+        epochs_completed_ % config_.checkpoint_every == 0) {
+      Status saved = EnsureDirectory(config_.checkpoint_dir);
+      if (saved.ok()) {
+        saved = SaveCheckpoint(StrFormat(
+            "%s/checkpoint_epoch%d.omck", config_.checkpoint_dir.c_str(),
+            epochs_completed_));
+      }
+      if (!saved.ok()) {
+        // A failed save must not kill a multi-hour run; the next interval
+        // retries.
+        OM_LOG(Warning) << "checkpoint save failed: " << saved.ToString();
+      }
+    }
   }
-  if (track_validation && !best_params.empty()) {
-    RestoreParams(params, best_params);
+  progress_.train_seconds += watch.ElapsedSeconds();
+  TrainStats stats = progress_;
+  if (track_validation && !best_params_.empty()) {
+    RestoreParams(params, best_params_);
   }
-  stats.train_seconds = watch.ElapsedSeconds();
   return stats;
 }
 
@@ -574,7 +606,11 @@ eval::Metrics OmniMatchTrainer::Evaluate(const std::vector<int>& users) {
     }
   }
   flush();
-  return acc.Finalize();
+  // Zero cold-start records (e.g. every user filtered out of a split) is a
+  // degenerate-but-valid evaluation: report an empty Metrics instead of
+  // failing — count == 0 tells the caller nothing was measured.
+  Result<eval::Metrics> result = acc.Finalize();
+  return result.ok() ? result.value() : eval::Metrics{};
 }
 
 Status OmniMatchTrainer::SaveWeights(const std::string& path) const {
@@ -616,6 +652,111 @@ Status OmniMatchTrainer::LoadWeights(const std::string& path) {
             static_cast<std::streamsize>(n * sizeof(float)));
     if (!in) return Status::IoError(path + ": truncated weight file");
   }
+  return Status::OK();
+}
+
+Status OmniMatchTrainer::SaveCheckpoint(const std::string& path) const {
+  OM_CHECK(prepared_) << "call Prepare() first";
+  CheckpointState state;
+  state.config_fingerprint = config_.Fingerprint();
+  state.epochs_completed = epochs_completed_;
+  state.steps = progress_.steps;
+  for (const nn::Tensor& p : model_->Parameters()) {
+    state.params.push_back(p.data());
+  }
+  state.optimizer = optimizer_->ExportState();
+  state.trainer_rng = rng_.GetState();
+  state.model_rngs = model_->RngStates();
+  state.total_loss = progress_.total_loss;
+  state.rating_loss = progress_.rating_loss;
+  state.scl_loss = progress_.scl_loss;
+  state.domain_loss = progress_.domain_loss;
+  state.validation_rmse = progress_.validation_rmse;
+  state.best_epoch = progress_.best_epoch;
+  state.best_rmse = best_rmse_;
+  state.best_params = best_params_;
+  state.sample_order.assign(sample_order_.begin(), sample_order_.end());
+  return SaveCheckpointFile(path, state);
+}
+
+Status OmniMatchTrainer::LoadCheckpoint(const std::string& path) {
+  OM_CHECK(prepared_) << "call Prepare() first";
+  Result<CheckpointState> loaded = LoadCheckpointFile(path);
+  if (!loaded.ok()) return loaded.status();
+  CheckpointState state = std::move(loaded).value();
+
+  // Validate everything against this trainer BEFORE mutating any state, so
+  // a rejected checkpoint leaves the trainer usable.
+  if (state.config_fingerprint != config_.Fingerprint()) {
+    return Status::InvalidArgument(
+        path + ": checkpoint was written under a different config "
+               "(fingerprint mismatch)");
+  }
+  std::vector<nn::Tensor> params = model_->Parameters();
+  if (state.params.size() != params.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: checkpoint holds %zu parameter tensors, model has %zu",
+        path.c_str(), state.params.size(), params.size()));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (state.params[i].size() != params[i].data().size()) {
+      return Status::InvalidArgument(
+          StrFormat("%s: parameter %zu has %zu values, model expects %zu",
+                    path.c_str(), i, state.params[i].size(),
+                    params[i].data().size()));
+    }
+  }
+  if (!state.best_params.empty() &&
+      state.best_params.size() != params.size()) {
+    return Status::InvalidArgument(path +
+                                   ": best-epoch snapshot shape mismatch");
+  }
+  for (size_t i = 0; i < state.best_params.size(); ++i) {
+    if (state.best_params[i].size() != params[i].data().size()) {
+      return Status::InvalidArgument(path +
+                                     ": best-epoch snapshot shape mismatch");
+    }
+  }
+  if (state.sample_order.size() != train_samples_.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: sample order covers %zu samples, trainer has %zu",
+        path.c_str(), state.sample_order.size(), train_samples_.size()));
+  }
+  for (int32_t idx : state.sample_order) {
+    if (idx < 0 || static_cast<size_t>(idx) >= train_samples_.size()) {
+      return Status::InvalidArgument(
+          path + ": sample order index out of range");
+    }
+  }
+  if (state.epochs_completed < 0) {
+    return Status::InvalidArgument(path + ": negative epoch counter");
+  }
+  if (state.model_rngs.size() != model_->RngStates().size()) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: checkpoint holds %zu model RNG streams, model has %zu",
+        path.c_str(), state.model_rngs.size(), model_->RngStates().size()));
+  }
+  // Optimizer state import validates its own slot/counter layout.
+  OM_RETURN_IF_ERROR(optimizer_->ImportState(state.optimizer));
+
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].data() = std::move(state.params[i]);
+  }
+  rng_.SetState(state.trainer_rng);
+  OM_RETURN_IF_ERROR(model_->SetRngStates(state.model_rngs));
+  progress_ = TrainStats();
+  progress_.total_loss = std::move(state.total_loss);
+  progress_.rating_loss = std::move(state.rating_loss);
+  progress_.scl_loss = std::move(state.scl_loss);
+  progress_.domain_loss = std::move(state.domain_loss);
+  progress_.validation_rmse = std::move(state.validation_rmse);
+  progress_.best_epoch = state.best_epoch;
+  progress_.steps = static_cast<int>(state.steps);
+  epochs_completed_ = state.epochs_completed;
+  best_rmse_ = state.best_rmse;
+  best_params_ = std::move(state.best_params);
+  sample_order_.assign(state.sample_order.begin(),
+                       state.sample_order.end());
   return Status::OK();
 }
 

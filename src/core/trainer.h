@@ -89,6 +89,26 @@ class OmniMatchTrainer {
   /// the parameter count or any shape differs.
   Status LoadWeights(const std::string& path);
 
+  /// Writes a crash-safe, CRC-protected checkpoint of the FULL training
+  /// state: parameters, optimizer accumulators, both RNG streams, the
+  /// epoch-shuffle permutation, the loss/validation traces and the
+  /// best-epoch snapshot. A run restored from it continues bit-for-bit as
+  /// if it had never stopped. Train() calls this automatically every
+  /// config.checkpoint_every epochs; it can also be called directly at any
+  /// epoch boundary.
+  Status SaveCheckpoint(const std::string& path) const;
+
+  /// Restores a checkpoint written by SaveCheckpoint into a trainer that
+  /// was Prepared with the same config (fingerprint-checked) and data. The
+  /// next Train() call resumes after the checkpointed epoch. Corrupt,
+  /// truncated or mismatched files are rejected with InvalidArgument /
+  /// IoError and leave the trainer unchanged.
+  Status LoadCheckpoint(const std::string& path);
+
+  /// Epochs completed so far (across resumes). Train() runs epochs
+  /// [epochs_completed, config.epochs).
+  int epochs_completed() const { return epochs_completed_; }
+
   const text::Vocabulary& vocabulary() const { return vocab_; }
   const AuxReviewGenerator* aux_generator() const {
     return aux_generator_.get();
@@ -160,6 +180,18 @@ class OmniMatchTrainer {
   std::vector<TrainSample> train_samples_;
   std::vector<int> empty_item_doc_;
   bool prepared_ = false;
+
+  /// --- resumable training state (checkpointed) ---
+  /// Traces and step count accumulated over every epoch so far, including
+  /// epochs run before a resume. Train() returns a copy of this.
+  TrainStats progress_;
+  int epochs_completed_ = 0;
+  /// Validation-selection state (select_best_epoch).
+  double best_rmse_ = 1e30;
+  std::vector<std::vector<float>> best_params_;
+  /// Current permutation of train_samples_ indices. Epoch shuffles compose
+  /// in place, so the order is part of the resumable state.
+  std::vector<int> sample_order_;
 };
 
 }  // namespace core

@@ -1,6 +1,5 @@
 #include "data/csv.h"
 
-#include <cstdlib>
 #include <fstream>
 
 #include "common/string_util.h"
@@ -9,12 +8,46 @@ namespace omnimatch {
 namespace data {
 
 namespace {
-std::string SanitizeText(std::string text) {
-  for (char& c : text) {
-    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+
+/// Escapes the TSV structural characters so review text round-trips
+/// exactly: tab, newline, carriage return and backslash become two-character
+/// sequences. The inverse is UnescapeText.
+std::string EscapeText(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
   }
-  return text;
+  return out;
 }
+
+std::string UnescapeText(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\' || i + 1 == text.size()) {
+      out += text[i];
+      continue;
+    }
+    switch (text[++i]) {
+      case '\\': out += '\\'; break;
+      case 't': out += '\t'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      // Unknown escape: keep both characters (forward compatibility with
+      // files written by a newer escaper).
+      default: out += '\\'; out += text[i];
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 Status SaveDomainTsv(const DomainDataset& dataset, const std::string& path) {
@@ -23,8 +56,7 @@ Status SaveDomainTsv(const DomainDataset& dataset, const std::string& path) {
   out << "user_id\titem_id\trating\tsummary\tfull_text\n";
   for (const Review& r : dataset.reviews()) {
     out << r.user_id << '\t' << r.item_id << '\t' << r.rating << '\t'
-        << SanitizeText(r.summary) << '\t' << SanitizeText(r.full_text)
-        << '\n';
+        << EscapeText(r.summary) << '\t' << EscapeText(r.full_text) << '\n';
   }
   if (!out) return Status::IoError("write failed for " + path);
   return Status::OK();
@@ -55,16 +87,32 @@ Result<DomainDataset> LoadDomainTsv(const std::string& path,
                     path.c_str(), line_no, static_cast<int>(fields.size())));
     }
     Review r;
-    r.user_id = std::atoi(fields[0].c_str());
-    r.item_id = std::atoi(fields[1].c_str());
-    r.rating = static_cast<float>(std::atof(fields[2].c_str()));
+    // Checked parses: std::atoi/atof silently read "3x" as 3 and turn any
+    // garbage into 0 — a dataset bug the model would then train on. Every
+    // field must parse in full or the row is rejected with its location.
+    if (!ParseInt32(fields[0], &r.user_id)) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%d: bad user_id '%s'", path.c_str(), line_no,
+                    fields[0].c_str()));
+    }
+    if (!ParseInt32(fields[1], &r.item_id)) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%d: bad item_id '%s'", path.c_str(), line_no,
+                    fields[1].c_str()));
+    }
+    if (!ParseFloat(fields[2], &r.rating)) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%d: bad rating '%s'", path.c_str(), line_no,
+                    fields[2].c_str()));
+    }
     if (r.user_id < 0 || r.item_id < 0 || r.rating < 1.0f ||
         r.rating > 5.0f) {
       return Status::InvalidArgument(
           StrFormat("%s:%d: invalid ids or rating", path.c_str(), line_no));
     }
-    r.summary = fields[3];
-    r.full_text = fields.size() >= 5 ? fields[4] : fields[3];
+    r.summary = UnescapeText(fields[3]);
+    r.full_text =
+        fields.size() >= 5 ? UnescapeText(fields[4]) : r.summary;
     dataset.AddReview(std::move(r));
   }
   dataset.BuildIndices();

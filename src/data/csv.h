@@ -11,12 +11,16 @@ namespace data {
 
 /// Saves a domain as tab-separated values with a header row:
 ///   user_id \t item_id \t rating \t summary \t full_text
-/// Tabs and newlines inside text fields are replaced with spaces.
+/// Tabs, newlines, carriage returns and backslashes inside text fields are
+/// escaped (\t, \n, \r, \\) so save -> load round-trips review text
+/// exactly.
 Status SaveDomainTsv(const DomainDataset& dataset, const std::string& path);
 
 /// Loads a domain written by SaveDomainTsv (or hand-authored in the same
-/// format). Builds indices before returning. The dataset name is taken from
-/// `name`, not the file.
+/// format). Escape sequences in text fields are decoded; numeric fields are
+/// parsed strictly (trailing garbage or out-of-range values reject the row
+/// with file:line context). Builds indices before returning. The dataset
+/// name is taken from `name`, not the file.
 Result<DomainDataset> LoadDomainTsv(const std::string& path,
                                     const std::string& name);
 

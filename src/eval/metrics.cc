@@ -2,15 +2,18 @@
 
 #include <cmath>
 
-#include "common/check.h"
+#include "common/string_util.h"
 
 namespace omnimatch {
 namespace eval {
 
-Metrics ComputeMetrics(const std::vector<float>& predictions,
-                       const std::vector<float>& gold) {
-  OM_CHECK_EQ(predictions.size(), gold.size());
-  OM_CHECK(!predictions.empty());
+Result<Metrics> ComputeMetrics(const std::vector<float>& predictions,
+                               const std::vector<float>& gold) {
+  if (predictions.size() != gold.size()) {
+    return Status::InvalidArgument(
+        StrFormat("%zu predictions vs %zu gold ratings", predictions.size(),
+                  gold.size()));
+  }
   MetricsAccumulator acc;
   for (size_t i = 0; i < predictions.size(); ++i) {
     acc.Add(predictions[i], gold[i]);
@@ -25,8 +28,10 @@ void MetricsAccumulator::Add(float prediction, float gold) {
   ++count_;
 }
 
-Metrics MetricsAccumulator::Finalize() const {
-  OM_CHECK_GT(count_, 0) << "no samples accumulated";
+Result<Metrics> MetricsAccumulator::Finalize() const {
+  if (count_ == 0) {
+    return Status::FailedPrecondition("no samples accumulated");
+  }
   Metrics m;
   m.count = count_;
   m.rmse = std::sqrt(sum_sq_ / count_);

@@ -3,6 +3,8 @@
 
 #include <vector>
 
+#include "common/status.h"
+
 namespace omnimatch {
 namespace eval {
 
@@ -14,15 +16,21 @@ struct Metrics {
 };
 
 /// Computes RMSE/MAE between parallel prediction and gold vectors.
-/// OM_CHECKs that the vectors are the same (non-zero) length.
-Metrics ComputeMetrics(const std::vector<float>& predictions,
-                       const std::vector<float>& gold);
+/// InvalidArgument when the vectors differ in length;
+/// FailedPrecondition when they are empty (a metric over zero samples is
+/// undefined — callers decide whether that is an error or an empty slice).
+Result<Metrics> ComputeMetrics(const std::vector<float>& predictions,
+                               const std::vector<float>& gold);
 
 /// Streaming accumulator for the same metrics.
 class MetricsAccumulator {
  public:
   void Add(float prediction, float gold);
-  Metrics Finalize() const;
+
+  /// FailedPrecondition when nothing was accumulated: an evaluation over
+  /// zero cold-start users must degrade gracefully, not abort the process.
+  Result<Metrics> Finalize() const;
+
   int count() const { return count_; }
 
  private:

@@ -46,6 +46,11 @@ class Mlp : public Module {
 
   std::vector<Tensor> Parameters() const override;
 
+  /// The hidden-layer dropout stream. Part of the resumable training state:
+  /// checkpoints capture it so a restored run draws the same masks.
+  Rng::State rng_state() const { return rng_.GetState(); }
+  void set_rng_state(const Rng::State& state) { rng_.SetState(state); }
+
  private:
   std::vector<std::unique_ptr<Linear>> layers_;
   float dropout_;

@@ -1,8 +1,10 @@
 #include "nn/optimizer.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
+#include "common/string_util.h"
 
 namespace omnimatch {
 namespace nn {
@@ -33,6 +35,32 @@ void Optimizer::ClipGradNorm(float max_norm) {
   }
 }
 
+Status Optimizer::ImportState(const OptimizerState& state) {
+  if (!state.counters.empty() || !state.slots.empty()) {
+    return Status::InvalidArgument(
+        "optimizer state carries buffers but this optimizer is stateless");
+  }
+  return Status::OK();
+}
+
+Status Optimizer::RestoreSlots(const std::vector<std::vector<float>>& slots,
+                               std::vector<std::vector<float>*> dst) {
+  if (slots.size() != dst.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "optimizer state has %zu slots, expected %zu", slots.size(),
+        dst.size()));
+  }
+  for (size_t i = 0; i < dst.size(); ++i) {
+    if (slots[i].size() != dst[i]->size()) {
+      return Status::InvalidArgument(StrFormat(
+          "optimizer slot %zu has %zu values, expected %zu", i,
+          slots[i].size(), dst[i]->size()));
+    }
+  }
+  for (size_t i = 0; i < dst.size(); ++i) *dst[i] = slots[i];
+  return Status::OK();
+}
+
 Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum,
          float weight_decay)
     : Optimizer(std::move(params)),
@@ -60,6 +88,21 @@ void Sgd::Step() {
       data[j] -= lr_ * g;
     }
   }
+}
+
+OptimizerState Sgd::ExportState() const {
+  OptimizerState state;
+  state.slots = velocity_;
+  return state;
+}
+
+Status Sgd::ImportState(const OptimizerState& state) {
+  if (!state.counters.empty()) {
+    return Status::InvalidArgument("SGD state has no counters");
+  }
+  std::vector<std::vector<float>*> dst;
+  for (auto& v : velocity_) dst.push_back(&v);
+  return RestoreSlots(state.slots, std::move(dst));
 }
 
 Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
@@ -96,6 +139,26 @@ void Adam::Step() {
   }
 }
 
+OptimizerState Adam::ExportState() const {
+  OptimizerState state;
+  state.counters = {t_};
+  state.slots = m_;
+  state.slots.insert(state.slots.end(), v_.begin(), v_.end());
+  return state;
+}
+
+Status Adam::ImportState(const OptimizerState& state) {
+  if (state.counters.size() != 1) {
+    return Status::InvalidArgument("Adam state needs exactly one counter");
+  }
+  std::vector<std::vector<float>*> dst;
+  for (auto& m : m_) dst.push_back(&m);
+  for (auto& v : v_) dst.push_back(&v);
+  OM_RETURN_IF_ERROR(RestoreSlots(state.slots, std::move(dst)));
+  t_ = state.counters[0];
+  return Status::OK();
+}
+
 Adadelta::Adadelta(std::vector<Tensor> params, float lr, float rho, float eps)
     : Optimizer(std::move(params)), lr_(lr), rho_(rho), eps_(eps) {
   accum_grad_.resize(params_.size());
@@ -121,6 +184,24 @@ void Adadelta::Step() {
       data[j] -= lr_ * update;
     }
   }
+}
+
+OptimizerState Adadelta::ExportState() const {
+  OptimizerState state;
+  state.slots = accum_grad_;
+  state.slots.insert(state.slots.end(), accum_update_.begin(),
+                     accum_update_.end());
+  return state;
+}
+
+Status Adadelta::ImportState(const OptimizerState& state) {
+  if (!state.counters.empty()) {
+    return Status::InvalidArgument("Adadelta state has no counters");
+  }
+  std::vector<std::vector<float>*> dst;
+  for (auto& g : accum_grad_) dst.push_back(&g);
+  for (auto& u : accum_update_) dst.push_back(&u);
+  return RestoreSlots(state.slots, std::move(dst));
 }
 
 }  // namespace nn

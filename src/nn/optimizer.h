@@ -1,12 +1,25 @@
 #ifndef OMNIMATCH_NN_OPTIMIZER_H_
 #define OMNIMATCH_NN_OPTIMIZER_H_
 
+#include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "nn/tensor.h"
 
 namespace omnimatch {
 namespace nn {
+
+/// Serializable optimizer state for checkpointing.
+///
+/// `slots` holds the per-parameter accumulator buffers in an
+/// optimizer-defined order (e.g. Adam stores all first moments, then all
+/// second moments); `counters` holds scalar step counts (e.g. Adam's t).
+/// An optimizer with no state exports empty vectors.
+struct OptimizerState {
+  std::vector<int64_t> counters;
+  std::vector<std::vector<float>> slots;
+};
 
 /// Base optimizer over a fixed parameter list.
 ///
@@ -31,9 +44,23 @@ class Optimizer {
   /// No-op if the current norm is below `max_norm`.
   void ClipGradNorm(float max_norm);
 
+  /// Exports the accumulator buffers and step counters needed to resume
+  /// optimization bit-for-bit. Stateless optimizers return empty state.
+  virtual OptimizerState ExportState() const { return OptimizerState(); }
+
+  /// Restores state captured by ExportState on an optimizer constructed
+  /// over the same parameter list. InvalidArgument when the slot/counter
+  /// counts or any buffer size disagree with this optimizer's layout.
+  virtual Status ImportState(const OptimizerState& state);
+
   const std::vector<Tensor>& params() const { return params_; }
 
  protected:
+  /// Shared ImportState validation: `slots` must match `dst` buffer-for-
+  /// buffer in count and per-buffer size.
+  static Status RestoreSlots(const std::vector<std::vector<float>>& slots,
+                             std::vector<std::vector<float>*> dst);
+
   std::vector<Tensor> params_;
 };
 
@@ -44,6 +71,11 @@ class Sgd : public Optimizer {
       float weight_decay = 0.0f);
 
   void Step() override;
+
+  /// State layout: one velocity slot per parameter (none when momentum is
+  /// off — plain SGD is stateless). No counters.
+  OptimizerState ExportState() const override;
+  Status ImportState(const OptimizerState& state) override;
 
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }
@@ -62,6 +94,11 @@ class Adam : public Optimizer {
        float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
 
   void Step() override;
+
+  /// State layout: all first moments, then all second moments (2P slots);
+  /// counters = {t}.
+  OptimizerState ExportState() const override;
+  Status ImportState(const OptimizerState& state) override;
 
  private:
   float lr_;
@@ -82,6 +119,11 @@ class Adadelta : public Optimizer {
            float eps = 1e-6f);
 
   void Step() override;
+
+  /// State layout: all gradient accumulators, then all update accumulators
+  /// (2P slots). No counters.
+  OptimizerState ExportState() const override;
+  Status ImportState(const OptimizerState& state) override;
 
  private:
   float lr_;

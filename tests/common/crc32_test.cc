@@ -1,0 +1,53 @@
+#include "common/crc32.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace omnimatch {
+namespace {
+
+TEST(Crc32Test, EmptyInputIsZero) {
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+  EXPECT_EQ(Crc32(std::string_view{}), 0u);
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // The canonical CRC-32 check value (ITU-T V.42 / zlib / PNG).
+  EXPECT_EQ(Crc32(std::string_view("123456789")), 0xCBF43926u);
+  EXPECT_EQ(Crc32(std::string_view("a")), 0xE8B7BE43u);
+  EXPECT_EQ(Crc32(std::string_view("abc")), 0x352441C2u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  std::string data = "the quick brown fox jumps over the lazy dog";
+  uint32_t one_shot = Crc32(std::string_view(data));
+  for (size_t cut = 0; cut <= data.size(); ++cut) {
+    uint32_t crc = Crc32(data.data(), cut);
+    crc = Crc32(data.data() + cut, data.size() - cut, crc);
+    EXPECT_EQ(crc, one_shot) << "split at " << cut;
+  }
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data(256, '\0');
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<char>(i);
+  uint32_t clean = Crc32(std::string_view(data));
+  for (size_t byte : {size_t{0}, data.size() / 2, data.size() - 1}) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = data;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      EXPECT_NE(Crc32(std::string_view(corrupt)), clean)
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(Crc32Test, DetectsTruncation) {
+  std::string data = "checkpoint payload bytes";
+  uint32_t clean = Crc32(std::string_view(data));
+  EXPECT_NE(Crc32(data.data(), data.size() - 1), clean);
+}
+
+}  // namespace
+}  // namespace omnimatch

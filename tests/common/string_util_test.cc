@@ -64,5 +64,44 @@ TEST(StrFormatTest, FormatsLikePrintf) {
   EXPECT_EQ(StrFormat("%s", ""), "");
 }
 
+TEST(ParseInt32Test, AcceptsWholeIntegers) {
+  int v = 0;
+  EXPECT_TRUE(ParseInt32("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt32("-7", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_TRUE(ParseInt32("0", &v));
+  EXPECT_EQ(v, 0);
+}
+
+TEST(ParseInt32Test, RejectsGarbageWhitespaceAndOverflow) {
+  int v = 0;
+  EXPECT_FALSE(ParseInt32("3x", &v));      // trailing garbage
+  EXPECT_FALSE(ParseInt32("x3", &v));
+  EXPECT_FALSE(ParseInt32(" 1", &v));      // leading whitespace
+  EXPECT_FALSE(ParseInt32("1 ", &v));
+  EXPECT_FALSE(ParseInt32("", &v));
+  EXPECT_FALSE(ParseInt32("1.5", &v));
+  EXPECT_FALSE(ParseInt32("99999999999", &v));  // > INT32_MAX
+}
+
+TEST(ParseFloatTest, AcceptsWholeFloats) {
+  float v = 0;
+  EXPECT_TRUE(ParseFloat("3.5", &v));
+  EXPECT_FLOAT_EQ(v, 3.5f);
+  EXPECT_TRUE(ParseFloat("-0.25", &v));
+  EXPECT_FLOAT_EQ(v, -0.25f);
+  EXPECT_TRUE(ParseFloat("4", &v));
+  EXPECT_FLOAT_EQ(v, 4.0f);
+}
+
+TEST(ParseFloatTest, RejectsGarbage) {
+  float v = 0;
+  EXPECT_FALSE(ParseFloat("3.5x", &v));
+  EXPECT_FALSE(ParseFloat("", &v));
+  EXPECT_FALSE(ParseFloat(" 3.5", &v));
+  EXPECT_FALSE(ParseFloat("3,5", &v));
+}
+
 }  // namespace
 }  // namespace omnimatch

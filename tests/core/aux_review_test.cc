@@ -105,6 +105,80 @@ TEST(AuxReviewTest, NoLikeMindedYieldsEmpty) {
   EXPECT_TRUE(reviews.empty());
 }
 
+TEST(AuxReviewTest, ZeroLikeMindedTraceRecordsEveryRecord) {
+  // Algorithm 1 edge case: a cold user whose co-raters never overlap with
+  // the eligible pool. The trace must still log one choice per source
+  // record, each marked as having no like-minded user.
+  data::CrossDomainDataset cross = CaseStudyCross();
+  AuxReviewGenerator generator(&cross, {3});
+  Rng rng(4);
+  AuxReviewTrace trace;
+  auto reviews = generator.GenerateForUser(0, &rng, &trace);
+  EXPECT_TRUE(reviews.empty());
+  ASSERT_EQ(trace.choices.size(), 2u);  // user 0 has 2 source records
+  for (const AuxReviewChoice& c : trace.choices) {
+    EXPECT_EQ(c.num_like_minded, 0);
+    EXPECT_EQ(c.like_minded_user, -1);
+    EXPECT_TRUE(c.aux_review.empty());
+    EXPECT_EQ(c.target_item, -1);
+  }
+}
+
+TEST(AuxReviewTest, LikeMindedUserWithoutTargetRecordsEmitsNoReview) {
+  // Algorithm 1 edge case: the selected like-minded user exists in the
+  // source domain but wrote nothing in the target domain. The trace records
+  // the selection; no auxiliary review is produced.
+  data::DomainDataset source("Books");
+  source.AddReview(MakeReview(0, 1, 5, "cold user loved it"));
+  source.AddReview(MakeReview(9, 1, 5, "silent user loved it too"));
+  data::DomainDataset target("Movies");
+  // User 9 has NO target reviews; some other user keeps the domain
+  // non-empty.
+  target.AddReview(MakeReview(8, 101, 3, "unrelated"));
+  data::CrossDomainDataset cross(std::move(source), std::move(target));
+
+  AuxReviewGenerator generator(&cross, {9});
+  Rng rng(6);
+  AuxReviewTrace trace;
+  auto reviews = generator.GenerateForUser(0, &rng, &trace);
+  EXPECT_TRUE(reviews.empty());
+  ASSERT_EQ(trace.choices.size(), 1u);
+  EXPECT_EQ(trace.choices[0].num_like_minded, 1);
+  EXPECT_EQ(trace.choices[0].like_minded_user, 9);
+  EXPECT_TRUE(trace.choices[0].aux_review.empty());
+  EXPECT_EQ(trace.choices[0].target_item, -1);
+}
+
+TEST(AuxReviewTest, TraceDeterministicGivenRngSeed) {
+  // Same seed -> same like-minded picks and same borrowed reviews, record
+  // by record (stronger than comparing only the returned texts).
+  data::SyntheticConfig config;
+  config.num_users = 80;
+  config.items_per_domain = 40;
+  config.seed = 9;
+  data::SyntheticWorld world(config);
+  data::CrossDomainDataset cross = world.MakePair("Books", "Movies");
+  Rng split_rng(1);
+  data::ColdStartSplit split = data::MakeColdStartSplit(cross, &split_rng);
+  AuxReviewGenerator generator(&cross, split.train_users);
+  for (int user : {split.test_users[0], split.test_users[1]}) {
+    Rng rng_a(123), rng_b(123);
+    AuxReviewTrace trace_a, trace_b;
+    auto reviews_a = generator.GenerateForUser(user, &rng_a, &trace_a);
+    auto reviews_b = generator.GenerateForUser(user, &rng_b, &trace_b);
+    EXPECT_EQ(reviews_a, reviews_b);
+    ASSERT_EQ(trace_a.choices.size(), trace_b.choices.size());
+    for (size_t i = 0; i < trace_a.choices.size(); ++i) {
+      EXPECT_EQ(trace_a.choices[i].like_minded_user,
+                trace_b.choices[i].like_minded_user);
+      EXPECT_EQ(trace_a.choices[i].target_item,
+                trace_b.choices[i].target_item);
+      EXPECT_EQ(trace_a.choices[i].aux_review,
+                trace_b.choices[i].aux_review);
+    }
+  }
+}
+
 TEST(AuxReviewTest, RespectsTextFieldSelection) {
   data::CrossDomainDataset cross = CaseStudyCross();
   AuxReviewGenerator generator(&cross, {2}, TextField::kFullText);

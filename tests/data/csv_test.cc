@@ -40,21 +40,44 @@ TEST(CsvTest, RoundTripPreservesRecords) {
   std::remove(path.c_str());
 }
 
-TEST(CsvTest, SanitizesTabsAndNewlines) {
+TEST(CsvTest, TabsAndNewlinesRoundTripViaEscaping) {
   DomainDataset d("X");
   Review r;
   r.user_id = 1;
   r.item_id = 2;
   r.rating = 4;
-  r.summary = "line\none\ttabbed";
+  // Every structural character plus a literal backslash and a literal
+  // two-character "\t" that must survive unchanged.
+  r.summary = "line\none\ttabbed\rback\\slash and literal \\t end";
   r.full_text = r.summary;
   d.AddReview(r);
   d.BuildIndices();
-  std::string path = TempPath("sanitize.tsv");
+  std::string path = TempPath("escape_roundtrip.tsv");
   ASSERT_TRUE(SaveDomainTsv(d, path).ok());
   auto loaded = LoadDomainTsv(path, "X");
-  ASSERT_TRUE(loaded.ok());
-  EXPECT_EQ(loaded.value().reviews()[0].summary, "line one tabbed");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().reviews()[0].summary, r.summary);
+  EXPECT_EQ(loaded.value().reviews()[0].full_text, r.full_text);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, EscapedFileStaysOneLinePerRecord) {
+  DomainDataset d("X");
+  Review r;
+  r.user_id = 1;
+  r.item_id = 2;
+  r.rating = 4;
+  r.summary = "a\nb";
+  r.full_text = "c\td";
+  d.AddReview(r);
+  d.BuildIndices();
+  std::string path = TempPath("escape_lines.tsv");
+  ASSERT_TRUE(SaveDomainTsv(d, path).ok());
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 2);  // header + one record
   std::remove(path.c_str());
 }
 
@@ -80,6 +103,51 @@ TEST(CsvTest, MalformedRowRejectedWithLineNumber) {
   auto loaded = LoadDomainTsv(path, "X");
   ASSERT_FALSE(loaded.ok());
   EXPECT_NE(loaded.status().message().find(":2:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, TrailingGarbageInNumericFieldRejected) {
+  // std::atoi would silently read "3x" as rating 3; the checked parser must
+  // reject the row and point at it.
+  std::string path = TempPath("trailgarbage.tsv");
+  std::ofstream(path) << "user_id\titem_id\trating\tsummary\tfull_text\n"
+                      << "1\t2\t3x\ttext\ttext\n";
+  auto loaded = LoadDomainTsv(path, "X");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find(":2:"), std::string::npos);
+  EXPECT_NE(loaded.status().message().find("rating"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, NonNumericUserIdRejected) {
+  std::string path = TempPath("badid.tsv");
+  std::ofstream(path) << "user_id\titem_id\trating\tsummary\tfull_text\n"
+                      << "u7\t2\t3\ttext\ttext\n";
+  auto loaded = LoadDomainTsv(path, "X");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("user_id"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, IntegerOverflowRejected) {
+  // 99999999999 overflows int32; atoi's behaviour is undefined, the checked
+  // parser reports out-of-range as a bad field.
+  std::string path = TempPath("overflow.tsv");
+  std::ofstream(path) << "user_id\titem_id\trating\tsummary\tfull_text\n"
+                      << "99999999999\t2\t3\ttext\ttext\n";
+  auto loaded = LoadDomainTsv(path, "X");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, WhitespacePaddedNumericFieldRejected) {
+  std::string path = TempPath("wspad.tsv");
+  std::ofstream(path) << "user_id\titem_id\trating\tsummary\tfull_text\n"
+                      << " 1\t2\t3\ttext\ttext\n";
+  auto loaded = LoadDomainTsv(path, "X");
+  ASSERT_FALSE(loaded.ok());
   std::remove(path.c_str());
 }
 

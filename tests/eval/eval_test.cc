@@ -10,7 +10,7 @@ namespace eval {
 namespace {
 
 TEST(MetricsTest, PerfectPredictionsAreZero) {
-  Metrics m = ComputeMetrics({1, 2, 3}, {1, 2, 3});
+  Metrics m = ComputeMetrics({1, 2, 3}, {1, 2, 3}).value();
   EXPECT_DOUBLE_EQ(m.rmse, 0.0);
   EXPECT_DOUBLE_EQ(m.mae, 0.0);
   EXPECT_EQ(m.count, 3);
@@ -18,22 +18,34 @@ TEST(MetricsTest, PerfectPredictionsAreZero) {
 
 TEST(MetricsTest, KnownValues) {
   // Errors: +1, -1 -> RMSE 1, MAE 1.
-  Metrics m = ComputeMetrics({3, 1}, {2, 2});
+  Metrics m = ComputeMetrics({3, 1}, {2, 2}).value();
   EXPECT_DOUBLE_EQ(m.rmse, 1.0);
   EXPECT_DOUBLE_EQ(m.mae, 1.0);
 }
 
 TEST(MetricsTest, RmseAtLeastMae) {
-  Metrics m = ComputeMetrics({1, 5, 3}, {2, 2, 3});
+  Metrics m = ComputeMetrics({1, 5, 3}, {2, 2, 3}).value();
   EXPECT_GE(m.rmse, m.mae);
 }
 
 TEST(MetricsTest, RmsePenalizesOutliersMore) {
   // Same MAE, different RMSE.
-  Metrics spread = ComputeMetrics({0, 4}, {2, 2});   // errors 2, 2
-  Metrics outlier = ComputeMetrics({2, 6}, {2, 2});  // errors 0, 4
+  Metrics spread = ComputeMetrics({0, 4}, {2, 2}).value();   // errors 2, 2
+  Metrics outlier = ComputeMetrics({2, 6}, {2, 2}).value();  // errors 0, 4
   EXPECT_DOUBLE_EQ(spread.mae, outlier.mae);
   EXPECT_LT(spread.rmse, outlier.rmse);
+}
+
+TEST(MetricsTest, EmptyInputReturnsStatusNotAbort) {
+  Result<Metrics> r = ComputeMetrics({}, {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MetricsTest, MismatchedLengthsRejected) {
+  Result<Metrics> r = ComputeMetrics({1, 2}, {1});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(MetricsAccumulatorTest, MatchesBatchComputation) {
@@ -41,10 +53,18 @@ TEST(MetricsAccumulatorTest, MatchesBatchComputation) {
   acc.Add(1.5f, 2.0f);
   acc.Add(4.0f, 3.0f);
   acc.Add(2.5f, 2.5f);
-  Metrics streaming = acc.Finalize();
-  Metrics batch = ComputeMetrics({1.5f, 4.0f, 2.5f}, {2.0f, 3.0f, 2.5f});
+  Metrics streaming = acc.Finalize().value();
+  Metrics batch =
+      ComputeMetrics({1.5f, 4.0f, 2.5f}, {2.0f, 3.0f, 2.5f}).value();
   EXPECT_NEAR(streaming.rmse, batch.rmse, 1e-12);
   EXPECT_NEAR(streaming.mae, batch.mae, 1e-12);
+}
+
+TEST(MetricsAccumulatorTest, FinalizeOnEmptyAccumulatorFails) {
+  MetricsAccumulator acc;
+  Result<Metrics> r = acc.Finalize();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
 }
 
 TEST(TableTest, RendersAlignedColumns) {
