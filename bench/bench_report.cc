@@ -19,6 +19,9 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/threadpool.h"
+#include "core/trainer.h"
+#include "data/splits.h"
+#include "data/synthetic.h"
 #include "nn/gemm.h"
 #include "nn/layers.h"
 #include "nn/losses.h"
@@ -229,6 +232,62 @@ int main(int argc, char** argv) {
                             cnn_docs.ZeroGrad();
                             cnn.ZeroGrad();
                           });
+  }
+
+  // --- Self-healing guard overhead: full training steps with the guard
+  // observing every step vs disabled. The guard's per-step cost is one
+  // parameter health scan plus the EMA bookkeeping; the acceptance budget
+  // is <5% of step time.
+  {
+    data::SyntheticConfig world_config;
+    world_config.num_users = 120;
+    world_config.items_per_domain = 60;
+    world_config.mean_reviews_per_user = 5;
+    world_config.seed = 11;
+    data::SyntheticWorld world(world_config);
+    data::CrossDomainDataset cross = world.MakePair("Books", "Movies");
+    Rng split_rng(12);
+    data::ColdStartSplit split = data::MakeColdStartSplit(cross, &split_rng);
+
+    core::OmniMatchConfig config;
+    config.embed_dim = 16;
+    config.cnn_channels = 8;
+    config.kernel_sizes = {2, 3};
+    config.feature_dim = 16;
+    config.projection_dim = 8;
+    config.doc_len = 32;
+    config.item_doc_len = 32;
+    config.batch_size = 16;
+    config.epochs = 2;
+    config.select_best_epoch = false;
+    config.seed = 13;
+
+    // Reps are interleaved (off, on, off, on, ...) so clock-speed or load
+    // drift during the benchmark hits both variants equally instead of
+    // biasing whichever ran second.
+    double guard_ns[2] = {1e300, 1e300};
+    for (int rep = 0; rep < g_reps; ++rep) {
+      for (int guarded = 0; guarded <= 1; ++guarded) {
+        config.guard_enabled = guarded == 1;
+        core::OmniMatchTrainer trainer(config, &cross, split);
+        if (!trainer.Prepare().ok()) {
+          std::fprintf(stderr, "TrainerStep: Prepare failed\n");
+          return 1;
+        }
+        core::TrainStats stats = trainer.Train();
+        if (stats.steps > 0) {
+          guard_ns[guarded] = std::min(
+              guard_ns[guarded], stats.train_seconds / stats.steps * 1e9);
+        }
+      }
+    }
+    for (int guarded = 0; guarded <= 1; ++guarded) {
+      samples.push_back({"TrainerStep",
+                         guarded == 1 ? "guard_on" : "guard_off",
+                         GetNumThreads(), guard_ns[guarded], 0.0});
+    }
+    std::printf("guard overhead: %.2f%% per training step\n",
+                (guard_ns[1] / guard_ns[0] - 1.0) * 100.0);
   }
 
   SetNumThreads(1);

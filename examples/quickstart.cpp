@@ -9,6 +9,12 @@
 // save a resumable checkpoint every 2 epochs, and --resume (latest in the
 // checkpoint dir) or --resume=path/to/checkpoint_epoch4.omck to continue a
 // killed run bit-for-bit.
+//
+// Self-healing training: the numerical-health guard is on by default
+// (disable with --guard=false); tune --max_recoveries=3 --lr_backoff=0.5.
+// Rehearse a failure with deterministic fault injection, e.g.
+//   --faults="grad@5" (NaN gradient at step 5) or
+//   --faults="loss@8:mag=20" (20x loss spike at step 8).
 
 #include <cstdio>
 
@@ -30,6 +36,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   ApplyThreadsFlag(flags);
+  Status fault_status = ApplyFaultsFlag(flags);
+  if (!fault_status.ok()) {
+    std::fprintf(stderr, "--faults: %s\n", fault_status.ToString().c_str());
+    return 1;
+  }
 
   // 1. Generate a small Amazon-like world and pick a scenario.
   data::SyntheticConfig data_config = data::SyntheticConfig::AmazonLike();
@@ -68,6 +79,11 @@ int main(int argc, char** argv) {
   }
   config.checkpoint_every = flags.GetInt("checkpoint_every", 0);
   config.checkpoint_dir = flags.GetString("checkpoint_dir", "checkpoints");
+  config.guard_enabled = flags.GetBool("guard", config.guard_enabled);
+  config.max_recoveries = flags.GetInt("max_recoveries",
+                                       config.max_recoveries);
+  config.lr_backoff = static_cast<float>(
+      flags.GetDouble("lr_backoff", config.lr_backoff));
   core::OmniMatchTrainer trainer(config, &cross, split);
   Status status = trainer.Prepare();
   if (!status.ok()) {
@@ -101,6 +117,20 @@ int main(int argc, char** argv) {
   std::printf("Trained %d steps in %.1f s (final loss %.4f)\n", stats.steps,
               stats.train_seconds,
               stats.total_loss.empty() ? 0.0 : stats.total_loss.back());
+  for (const core::RecoveryEvent& e : stats.recovery_events) {
+    std::printf("Guard recovery at step %lld: %s (observed %.4g), "
+                "lr %.4g -> %.4g\n",
+                static_cast<long long>(e.step),
+                core::FaultReasonName(e.reason), e.observed,
+                static_cast<double>(e.lr_before),
+                static_cast<double>(e.lr_after));
+  }
+  if (stats.guard_gave_up) {
+    std::fprintf(stderr,
+                 "Guard exhausted --max_recoveries=%d; training stopped on "
+                 "the last good state.\n",
+                 config.max_recoveries);
+  }
 
   // 4. Evaluate on the cold-start validation and test users.
   if (flags.GetBool("eval_train", false)) {

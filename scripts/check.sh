@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Full verification matrix: Release build + tests, then the thread pool and
-# nn kernels under ThreadSanitizer and AddressSanitizer.
+# nn kernels under ThreadSanitizer, AddressSanitizer and UBSan.
 #
 #   scripts/check.sh            # everything
 #   scripts/check.sh release    # just the Release build + full ctest
 #   scripts/check.sh tsan       # just the TSan config
 #   scripts/check.sh asan       # just the ASan config
+#   scripts/check.sh ubsan      # just the UBSan config
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,7 +23,9 @@ run_release() {
 # Sanitizer configs only build the test tree (benchmarks and examples add
 # nothing to coverage and double the build time). TSan exercises the thread
 # pool, the blocked GEMM, and every parallel op through common_test/nn_test;
-# ASan additionally runs the trainer-level suites.
+# ASan and UBSan additionally run the trainer-level suites — including the
+# fault-injection tests, so every guard rollback/retry path is walked under
+# instrumentation.
 run_sanitizer() {
   local kind="$1" dir="build-$1" ; shift
   echo "=== ${kind} build (${dir}) ==="
@@ -41,12 +44,14 @@ case "${MODE}" in
   release) run_release ;;
   tsan)    run_sanitizer thread common_test nn_test ;;
   asan)    run_sanitizer address common_test nn_test core_test ;;
+  ubsan)   run_sanitizer undefined common_test nn_test core_test ;;
   all)
     run_release
     run_sanitizer thread common_test nn_test
     run_sanitizer address common_test nn_test core_test
+    run_sanitizer undefined common_test nn_test core_test
     ;;
-  *) echo "usage: $0 [all|release|tsan|asan]" >&2 ; exit 2 ;;
+  *) echo "usage: $0 [all|release|tsan|asan|ubsan]" >&2 ; exit 2 ;;
 esac
 
 echo "OK (${MODE})"

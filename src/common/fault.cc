@@ -1,0 +1,168 @@
+#include "common/fault.h"
+
+#include <cstdlib>
+#include <limits>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace omnimatch {
+
+namespace {
+
+/// Parses a magnitude value: "nan", "inf", "-inf" or a float literal.
+bool ParseMagnitude(std::string_view text, double* out) {
+  std::string lower = ToLower(text);
+  if (lower == "nan") {
+    *out = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  if (lower == "inf") {
+    *out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (lower == "-inf") {
+    *out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  float value = 0.0f;
+  if (!ParseFloat(lower, &value)) return false;
+  *out = static_cast<double>(value);
+  return true;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = [] {
+    auto* inj = new FaultInjector();
+    if (const char* env = std::getenv("OMNIMATCH_FAULTS")) {
+      Status armed = inj->ArmFromString(env);
+      OM_CHECK(armed.ok()) << "OMNIMATCH_FAULTS: " << armed.ToString();
+    }
+    return inj;
+  }();
+  return *injector;
+}
+
+void FaultInjector::Arm(FaultSpec spec) {
+  OM_CHECK(!spec.point.empty()) << "fault spec needs an injection point";
+  OM_CHECK_GT(spec.count, 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_.push_back(ArmedFault{std::move(spec)});
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+Status FaultInjector::ArmFromString(std::string_view text) {
+  for (const std::string& raw : Split(text, ';')) {
+    std::string_view entry = StripWhitespace(raw);
+    if (entry.empty()) continue;
+    size_t at = entry.find('@');
+    if (at == 0 || at == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrFormat("fault spec '%.*s': expected point@step",
+                    static_cast<int>(entry.size()), entry.data()));
+    }
+    FaultSpec spec;
+    spec.point = std::string(entry.substr(0, at));
+    std::string_view rest = entry.substr(at + 1);
+    size_t colon = rest.find(':');
+    std::string_view step_text =
+        colon == std::string_view::npos ? rest : rest.substr(0, colon);
+    int step = 0;
+    if (!ParseInt32(std::string(step_text), &step) || step < 0) {
+      return Status::InvalidArgument(
+          StrFormat("fault spec '%.*s': bad step '%.*s'",
+                    static_cast<int>(entry.size()), entry.data(),
+                    static_cast<int>(step_text.size()), step_text.data()));
+    }
+    spec.step = step;
+    if (colon != std::string_view::npos) {
+      for (const std::string& kv_raw : Split(rest.substr(colon + 1), ',')) {
+        std::string_view kv = StripWhitespace(kv_raw);
+        size_t eq = kv.find('=');
+        if (eq == 0 || eq == std::string_view::npos) {
+          return Status::InvalidArgument(
+              StrFormat("fault spec '%.*s': expected key=value, got '%.*s'",
+                        static_cast<int>(entry.size()), entry.data(),
+                        static_cast<int>(kv.size()), kv.data()));
+        }
+        std::string key = ToLower(kv.substr(0, eq));
+        std::string value(kv.substr(eq + 1));
+        bool ok = false;
+        if (key == "mag") {
+          ok = ParseMagnitude(value, &spec.magnitude);
+        } else if (key == "count") {
+          int count = 0;
+          ok = ParseInt32(value, &count) && count > 0;
+          if (ok) spec.count = count;
+        } else if (key == "seed") {
+          int seed = 0;
+          ok = ParseInt32(value, &seed) && seed >= 0;
+          if (ok) spec.seed = static_cast<uint64_t>(seed);
+        }
+        if (!ok) {
+          return Status::InvalidArgument(
+              StrFormat("fault spec '%.*s': bad option '%.*s'",
+                        static_cast<int>(entry.size()), entry.data(),
+                        static_cast<int>(kv.size()), kv.data()));
+        }
+      }
+    }
+    Arm(std::move(spec));
+  }
+  return Status::OK();
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_.clear();
+  consult_counters_.clear();
+  fired_total_ = 0;
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::ShouldFire(std::string_view point, int64_t step,
+                               FaultHit* hit) {
+  if (!armed()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return ShouldFireLocked(point, step, hit);
+}
+
+bool FaultInjector::ShouldFire(std::string_view point, FaultHit* hit) {
+  if (!armed()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : consult_counters_) {
+    if (name == point) return ShouldFireLocked(point, counter++, hit);
+  }
+  consult_counters_.emplace_back(std::string(point), 1);
+  return ShouldFireLocked(point, 0, hit);
+}
+
+bool FaultInjector::ShouldFireLocked(std::string_view point, int64_t step,
+                                     FaultHit* hit) {
+  for (ArmedFault& f : faults_) {
+    if (f.spec.point != point) continue;
+    if (f.times_fired >= f.spec.count) continue;
+    // Fire at most once per distinct step at or past the armed step: a
+    // rollback-and-retry re-consults the SAME step and must not re-fire,
+    // while count > 1 keeps firing on subsequent steps.
+    if (step < f.spec.step || step <= f.last_fired_step) continue;
+    ++f.times_fired;
+    f.last_fired_step = step;
+    ++fired_total_;
+    if (hit != nullptr) {
+      hit->magnitude = f.spec.magnitude;
+      hit->seed = f.spec.seed;
+    }
+    return true;
+  }
+  return false;
+}
+
+int64_t FaultInjector::fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_total_;
+}
+
+}  // namespace omnimatch

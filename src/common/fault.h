@@ -1,0 +1,117 @@
+#ifndef OMNIMATCH_COMMON_FAULT_H_
+#define OMNIMATCH_COMMON_FAULT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <atomic>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace omnimatch {
+
+/// One armed fault: fire at injection point `point` when the consulting
+/// site's step counter reaches `step`, for `count` distinct steps.
+///
+/// `magnitude` is interpreted by the injection site (loss-spike multiplier,
+/// value written into a gradient/parameter; NaN and Inf are legal). 0 asks
+/// the site for its default (NaN for corruption, 10x for a loss spike).
+/// `seed` deterministically selects WHICH element a corruption site hits,
+/// so a failure reproduces bit-identically run after run.
+struct FaultSpec {
+  std::string point;
+  int64_t step = 0;
+  double magnitude = 0.0;
+  int32_t count = 1;
+  uint64_t seed = 0;
+};
+
+/// Payload handed to an injection site when a fault fires.
+struct FaultHit {
+  double magnitude = 0.0;
+  uint64_t seed = 0;
+};
+
+/// Deterministic fault-injection registry.
+///
+/// Library code consults named injection points; tests (or the
+/// OMNIMATCH_FAULTS env var / --faults flag) arm faults against them.
+/// Unarmed, a consultation is a single relaxed atomic load — the registry
+/// costs nothing in production. Armed, every firing is a pure function of
+/// (point, step), so an injected failure replays bit-identically.
+///
+/// Points consulted by the library:
+///   "grad"             — after backward: flip one gradient value (NaN)
+///   "loss"             — after the forward: multiply the step loss
+///   "param"            — after the optimizer step: corrupt one parameter
+///   "checkpoint_write" — fail a checkpoint save with IoError
+///
+/// Spec string grammar (semicolon-separated, whitespace ignored):
+///   point@step[:key=value[,key=value]...]
+/// with keys `mag` (float, or "nan"/"inf"), `count`, `seed`. Examples:
+///   "grad@5"                      NaN gradient at step 5
+///   "loss@3:mag=10"               10x loss spike at step 3
+///   "loss@3:mag=100,count=10"     spikes at steps 3..12
+///   "param@7:mag=inf,seed=42"     Inf into a seed-chosen parameter
+///   "checkpoint_write@0"          first checkpoint save fails
+class FaultInjector {
+ public:
+  /// The process-wide registry every library injection point consults.
+  /// On first use it arms itself from OMNIMATCH_FAULTS if set (a malformed
+  /// value aborts: a typo'd fault spec silently ignored would defeat the
+  /// test that set it).
+  static FaultInjector& Global();
+
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arms one fault. Specs accumulate until Disarm().
+  void Arm(FaultSpec spec);
+
+  /// Parses and arms a spec string (grammar above). InvalidArgument on any
+  /// malformed entry; entries before the bad one stay armed.
+  Status ArmFromString(std::string_view text);
+
+  /// Removes every armed fault and resets all firing bookkeeping.
+  void Disarm();
+
+  /// True when at least one fault is armed (relaxed; the fast path).
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Consults injection point `point` at the caller's step counter value.
+  /// Returns true when an armed fault fires here, filling `*hit` (if given).
+  /// A (spec, step) pair fires at most once: re-consulting the same step —
+  /// which is exactly what a guard's rollback-and-retry does — does not
+  /// re-fire, so recovery can be tested deterministically.
+  bool ShouldFire(std::string_view point, int64_t step, FaultHit* hit = nullptr);
+
+  /// Overload for sites without a natural step counter (e.g. checkpoint
+  /// writes): each consultation of `point` advances an internal per-point
+  /// counter, and specs match against it.
+  bool ShouldFire(std::string_view point, FaultHit* hit = nullptr);
+
+  /// Total firings since the last Disarm().
+  int64_t fired() const;
+
+ private:
+  struct ArmedFault {
+    FaultSpec spec;
+    int32_t times_fired = 0;
+    int64_t last_fired_step = INT64_MIN;
+  };
+
+  bool ShouldFireLocked(std::string_view point, int64_t step, FaultHit* hit);
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  std::vector<ArmedFault> faults_;
+  std::vector<std::pair<std::string, int64_t>> consult_counters_;
+  int64_t fired_total_ = 0;
+};
+
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_COMMON_FAULT_H_

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 #include "common/threadpool.h"
 
@@ -60,6 +61,12 @@ bool FlagParser::GetBool(const std::string& name, bool default_value) const {
 int ApplyThreadsFlag(const FlagParser& flags) {
   SetNumThreads(flags.GetInt("threads", 0));
   return GetNumThreads();
+}
+
+Status ApplyFaultsFlag(const FlagParser& flags) {
+  if (!flags.Has("faults")) return Status::OK();
+  return FaultInjector::Global().ArmFromString(
+      flags.GetString("faults", ""));
 }
 
 }  // namespace omnimatch

@@ -39,6 +39,12 @@ class FlagParser {
 /// so the whole fleet agrees on one spelling.
 int ApplyThreadsFlag(const FlagParser& flags);
 
+/// Arms the global fault injector from the shared `--faults` flag (same
+/// `point@step[:key=value,...]` grammar as the OMNIMATCH_FAULTS environment
+/// variable; see common/fault.h). No-op when the flag is absent. Returns
+/// InvalidArgument for malformed specs.
+Status ApplyFaultsFlag(const FlagParser& flags);
+
 }  // namespace omnimatch
 
 #endif  // OMNIMATCH_COMMON_FLAGS_H_

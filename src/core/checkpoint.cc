@@ -5,6 +5,7 @@
 #include <system_error>
 
 #include "common/crc32.h"
+#include "common/fault.h"
 #include "common/io.h"
 #include "common/string_util.h"
 
@@ -25,6 +26,7 @@ enum SectionTag : uint32_t {
   kTraces = 5,     // loss/validation traces, best epoch
   kOrder = 6,      // sample_order permutation
   kBest = 7,       // best-epoch parameter snapshot
+  kGuard = 8,      // recovery trace, live LR, guard EMA state (v2)
 };
 
 void WriteTensorList(ByteWriter* w,
@@ -98,6 +100,22 @@ std::string EncodePayload(const CheckpointState& state) {
   WriteSection(&payload, kBest, [&](ByteWriter* w) {
     WriteTensorList(w, state.best_params);
   });
+  WriteSection(&payload, kGuard, [&](ByteWriter* w) {
+    w->Write<int32_t>(state.recoveries);
+    w->Write<uint8_t>(state.guard_gave_up);
+    w->Write<float>(state.current_lr);
+    w->Write<double>(state.guard_ema);
+    w->Write<int64_t>(state.guard_healthy_steps);
+    w->Write<uint64_t>(state.recovery_events.size());
+    for (const RecoveryEvent& e : state.recovery_events) {
+      w->Write<int64_t>(e.step);
+      w->Write<int32_t>(static_cast<int32_t>(e.reason));
+      w->Write<double>(e.observed);
+      w->Write<double>(e.threshold);
+      w->Write<float>(e.lr_before);
+      w->Write<float>(e.lr_after);
+    }
+  });
   return payload.Release();
 }
 
@@ -105,6 +123,11 @@ std::string EncodePayload(const CheckpointState& state) {
 
 Status SaveCheckpointFile(const std::string& path,
                           const CheckpointState& state) {
+  // Fault point: the Nth checkpoint save fails cleanly, exercising the
+  // trainer's save-failure tolerance without touching the filesystem.
+  if (FaultInjector::Global().ShouldFire("checkpoint_write")) {
+    return Status::IoError(path + ": injected checkpoint write fault");
+  }
   std::string payload = EncodePayload(state);
   ByteWriter file;
   file.Write<char>(kCheckpointMagic[0]);
@@ -214,6 +237,30 @@ Result<CheckpointState> LoadCheckpointFile(const std::string& path) {
   }));
   OM_RETURN_IF_ERROR(section(kBest, [&](ByteReader* b) {
     return ReadTensorList(b, &state.best_params);
+  }));
+  OM_RETURN_IF_ERROR(section(kGuard, [&](ByteReader* b) {
+    if (!b->Read(&state.recoveries) || !b->Read(&state.guard_gave_up) ||
+        !b->Read(&state.current_lr) || !b->Read(&state.guard_ema) ||
+        !b->Read(&state.guard_healthy_steps)) {
+      return false;
+    }
+    uint64_t count = 0;
+    if (!b->Read(&count) || count > b->remaining()) return false;
+    state.recovery_events.resize(static_cast<size_t>(count));
+    for (RecoveryEvent& e : state.recovery_events) {
+      int32_t reason = 0;
+      if (!b->Read(&e.step) || !b->Read(&reason) || !b->Read(&e.observed) ||
+          !b->Read(&e.threshold) || !b->Read(&e.lr_before) ||
+          !b->Read(&e.lr_after)) {
+        return false;
+      }
+      if (reason < 0 ||
+          reason > static_cast<int32_t>(FaultReason::kNonFiniteParam)) {
+        return false;
+      }
+      e.reason = static_cast<FaultReason>(reason);
+    }
+    return true;
   }));
   if (!r.exhausted()) {
     return Status::InvalidArgument(path + ": trailing bytes after sections");

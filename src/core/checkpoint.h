@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "core/guard.h"
 #include "nn/optimizer.h"
 
 namespace omnimatch {
@@ -47,6 +48,18 @@ struct CheckpointState {
   /// Current permutation of training-sample indices (the in-place epoch
   /// shuffles compose, so the order must travel with the checkpoint).
   std::vector<int32_t> sample_order;
+
+  /// --- self-healing guard state (format v2) ---
+  /// Full recovery trace so far, the retry budget already spent, and
+  /// whether the guard gave up. `current_lr` is the optimizer's live
+  /// learning rate — after a divergence backoff it differs from the config
+  /// value, and resuming with the config LR would re-diverge.
+  std::vector<RecoveryEvent> recovery_events;
+  int32_t recoveries = 0;
+  uint8_t guard_gave_up = 0;
+  float current_lr = 0.0f;
+  double guard_ema = 0.0;
+  int64_t guard_healthy_steps = 0;
 };
 
 /// On-disk layout (little-endian):
@@ -59,7 +72,10 @@ struct CheckpointState {
 /// save leaves the previous checkpoint intact. See DESIGN.md "Checkpoint
 /// format" for the section layout inside the payload.
 inline constexpr char kCheckpointMagic[4] = {'O', 'M', 'C', 'K'};
-inline constexpr uint32_t kCheckpointVersion = 1;
+/// v2 appended the guard section (recovery trace, live learning rate, EMA
+/// state); v1 files are rejected — silently resuming without the backed-off
+/// LR would re-diverge a recovered run.
+inline constexpr uint32_t kCheckpointVersion = 2;
 
 /// Serializes `state` and writes it crash-safely to `path`.
 Status SaveCheckpointFile(const std::string& path,

@@ -63,6 +63,22 @@ Status OmniMatchConfig::Validate() const {
     return Status::InvalidArgument(
         "checkpoint_every > 0 requires a checkpoint_dir");
   }
+  if (guard_spike_factor <= 1.0f) {
+    return Status::InvalidArgument(
+        "guard_spike_factor must be > 1 (a factor <= 1 flags normal noise)");
+  }
+  if (guard_ema_decay <= 0.0f || guard_ema_decay >= 1.0f) {
+    return Status::InvalidArgument("guard_ema_decay must be in (0, 1)");
+  }
+  if (guard_warmup_steps < 0) {
+    return Status::InvalidArgument("guard_warmup_steps must be >= 0");
+  }
+  if (max_recoveries < 0) {
+    return Status::InvalidArgument("max_recoveries must be >= 0");
+  }
+  if (lr_backoff <= 0.0f || lr_backoff > 1.0f) {
+    return Status::InvalidArgument("lr_backoff must be in (0, 1]");
+  }
   return Status::OK();
 }
 

@@ -136,6 +136,25 @@ struct OmniMatchConfig {
   /// (non-empty) when checkpoint_every > 0.
   std::string checkpoint_dir;
 
+  // --- self-healing guard (see DESIGN.md "Failure model & recovery") ---
+  /// Check loss / gradient / parameter health every training step and, on a
+  /// fault, roll back to the in-memory snapshot of the last good step, back
+  /// off the learning rate and retry. With no faults occurring the guarded
+  /// trajectory is bit-identical to an unguarded one (the guard only ever
+  /// observes), so this is safe to leave on.
+  bool guard_enabled = true;
+  /// Divergence threshold: a step loss above spike_factor x EMA(loss) is
+  /// treated as a fault once the EMA has seen guard_warmup_steps steps.
+  float guard_spike_factor = 4.0f;
+  float guard_ema_decay = 0.95f;
+  int guard_warmup_steps = 10;
+  /// Total recoveries (rollback + LR backoff + retry) allowed per Train()
+  /// run before the guard gives up and stops training on the last good
+  /// state.
+  int max_recoveries = 3;
+  /// Multiplier applied to the learning rate on every recovery.
+  float lr_backoff = 0.5f;
+
   /// Validates ranges; returns InvalidArgument describing the first problem.
   Status Validate() const;
 
@@ -144,8 +163,10 @@ struct OmniMatchConfig {
   /// Stored in checkpoints and verified on load so a checkpoint can never
   /// be resumed under a config that would silently diverge. Deliberately
   /// EXCLUDED: `epochs` (resuming with a longer schedule is legitimate),
-  /// `verbose`, `num_threads` (results are thread-count invariant) and the
-  /// checkpoint fields themselves.
+  /// `verbose`, `num_threads` (results are thread-count invariant), the
+  /// checkpoint fields themselves, and the guard fields (a fault-free
+  /// guarded run is bit-identical to an unguarded one, and after a fault
+  /// the backed-off learning rate travels inside the checkpoint).
   uint64_t Fingerprint() const;
 };
 

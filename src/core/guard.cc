@@ -1,0 +1,46 @@
+#include "core/guard.h"
+
+#include <cmath>
+
+namespace omnimatch {
+namespace core {
+
+const char* FaultReasonName(FaultReason reason) {
+  switch (reason) {
+    case FaultReason::kNone:
+      return "none";
+    case FaultReason::kNonFiniteLoss:
+      return "non-finite loss";
+    case FaultReason::kLossSpike:
+      return "loss spike";
+    case FaultReason::kNonFiniteGrad:
+      return "non-finite gradient";
+    case FaultReason::kNonFiniteParam:
+      return "non-finite parameter";
+  }
+  return "unknown";
+}
+
+FaultReason TrainingGuard::Check(double loss, bool grads_finite,
+                                 bool params_finite, double* threshold_out) {
+  // Order matters: a NaN loss usually comes WITH NaN gradients; report the
+  // most upstream signal first so the recovery trace names the root cause.
+  bool warmed_up = healthy_steps_ >= options_.warmup_steps;
+  double threshold = warmed_up ? options_.spike_factor * ema_ : 0.0;
+  if (threshold_out != nullptr) *threshold_out = threshold;
+
+  if (!std::isfinite(loss)) return FaultReason::kNonFiniteLoss;
+  if (!grads_finite) return FaultReason::kNonFiniteGrad;
+  if (!params_finite) return FaultReason::kNonFiniteParam;
+  if (warmed_up && loss > threshold) return FaultReason::kLossSpike;
+
+  // Healthy: fold into the EMA (seeded by the first healthy loss).
+  ema_ = healthy_steps_ == 0
+             ? loss
+             : options_.ema_decay * ema_ + (1.0 - options_.ema_decay) * loss;
+  ++healthy_steps_;
+  return FaultReason::kNone;
+}
+
+}  // namespace core
+}  // namespace omnimatch

@@ -1,0 +1,85 @@
+#ifndef OMNIMATCH_CORE_GUARD_H_
+#define OMNIMATCH_CORE_GUARD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace omnimatch {
+namespace core {
+
+/// Why the guard rejected a training step.
+enum class FaultReason : int32_t {
+  kNone = 0,
+  kNonFiniteLoss = 1,   // NaN/Inf step loss
+  kLossSpike = 2,       // loss > spike_factor x EMA after warmup
+  kNonFiniteGrad = 3,   // NaN/Inf gradient (surfaced by ClipGradNorm)
+  kNonFiniteParam = 4,  // NaN/Inf parameter after the update
+};
+
+const char* FaultReasonName(FaultReason reason);
+
+/// One recovery performed by the trainer: what was detected at which step
+/// and how the learning rate was backed off. The full trace is part of
+/// TrainStats and travels inside checkpoints, so a resumed run knows its
+/// complete fault history.
+struct RecoveryEvent {
+  int64_t step = 0;
+  FaultReason reason = FaultReason::kNone;
+  /// The offending value: the loss for loss faults, the gradient norm for
+  /// gradient faults, the non-finite parameter count for parameter faults.
+  double observed = 0.0;
+  /// Detection threshold at that step (spike_factor x EMA for spikes, 0
+  /// when not applicable).
+  double threshold = 0.0;
+  float lr_before = 0.0f;
+  float lr_after = 0.0f;
+};
+
+/// Numerical-health watchdog for the training loop.
+///
+/// Purely observational: it classifies each step as healthy or faulted and
+/// maintains the loss EMA used for divergence detection; the trainer owns
+/// the actual rollback/backoff/retry policy. A healthy step is the ONLY
+/// thing that mutates the guard, so running with the guard enabled and no
+/// faults is bit-identical to running without it.
+///
+/// Divergence detection: an exponential moving average of the step loss,
+/// armed after `warmup_steps` healthy steps; a step whose loss exceeds
+/// `spike_factor` x EMA is declared divergent. Non-finite loss/gradients/
+/// parameters are faults regardless of warmup.
+class TrainingGuard {
+ public:
+  struct Options {
+    double spike_factor = 4.0;
+    double ema_decay = 0.95;
+    int warmup_steps = 10;
+  };
+
+  explicit TrainingGuard(const Options& options) : options_(options) {}
+
+  /// Classifies one completed step. Healthy steps fold `loss` into the EMA;
+  /// faulted steps leave the guard untouched (a spiked loss must not drag
+  /// the baseline up). `threshold_out`, if given, receives the spike
+  /// threshold in effect (0 before warmup).
+  FaultReason Check(double loss, bool grads_finite, bool params_finite,
+                    double* threshold_out = nullptr);
+
+  /// --- checkpointable state ---
+  double ema() const { return ema_; }
+  int64_t healthy_steps() const { return healthy_steps_; }
+  void Restore(double ema, int64_t healthy_steps) {
+    ema_ = ema;
+    healthy_steps_ = healthy_steps;
+  }
+
+ private:
+  Options options_;
+  double ema_ = 0.0;
+  int64_t healthy_steps_ = 0;
+};
+
+}  // namespace core
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_CORE_GUARD_H_

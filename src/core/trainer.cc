@@ -4,14 +4,17 @@
 #include <array>
 #include <fstream>
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/threadpool.h"
 #include "common/io.h"
 #include "core/checkpoint.h"
+#include "nn/health.h"
 #include "nn/losses.h"
 #include "nn/ops.h"
 #include "text/document.h"
@@ -69,6 +72,10 @@ Status OmniMatchTrainer::Prepare() {
   epochs_completed_ = 0;
   best_rmse_ = 1e30;
   best_params_.clear();
+  guard_ = TrainingGuard(TrainingGuard::Options{
+      static_cast<double>(config_.guard_spike_factor),
+      static_cast<double>(config_.guard_ema_decay),
+      config_.guard_warmup_steps});
   prepared_ = true;
   if (config_.verbose) {
     OM_LOG(Info) << "prepared " << cross_->ScenarioName() << ": vocab "
@@ -315,7 +322,28 @@ std::vector<int> OmniMatchTrainer::GatherTargetTrainingDocs(
   return flat;
 }
 
-std::array<double, 4> OmniMatchTrainer::TrainBatch(
+namespace {
+/// Writes the fault's value (NaN unless the spec gives a magnitude) into a
+/// seed-chosen element of a seed-chosen tensor's data or gradient buffer.
+/// Deterministic: the same spec corrupts the same element every run.
+void PoisonOneValue(std::vector<nn::Tensor> params, const FaultHit& hit,
+                    bool poison_grad) {
+  Rng rng(hit.seed * 0x9E3779B97F4A7C15ULL + 0x7C15ULL);
+  float value = hit.magnitude == 0.0
+                    ? std::numeric_limits<float>::quiet_NaN()
+                    : static_cast<float>(hit.magnitude);
+  size_t start = rng.UniformU32(static_cast<uint32_t>(params.size()));
+  for (size_t k = 0; k < params.size(); ++k) {
+    nn::Tensor t = params[(start + k) % params.size()];
+    std::vector<float>& buf = poison_grad ? t.grad() : t.data();
+    if (buf.empty()) continue;  // grad not allocated: try the next tensor
+    buf[rng.UniformU32(static_cast<uint32_t>(buf.size()))] = value;
+    return;
+  }
+}
+}  // namespace
+
+OmniMatchTrainer::StepOutcome OmniMatchTrainer::TrainBatch(
     const std::vector<TrainSample>& batch) {
   int b = static_cast<int>(batch.size());
   std::vector<int> users, items;
@@ -394,9 +422,69 @@ std::array<double, 4> OmniMatchTrainer::TrainBatch(
   }
 
   loss.Backward();
-  optimizer_->ClipGradNorm(config_.grad_clip_norm);
-  optimizer_->Step();
-  return {loss.ScalarValue(), rating_loss, scl_loss, domain_loss};
+
+  // Fault point "grad": flip one gradient value after backward, before the
+  // clip — exactly the poison a real overflow would plant.
+  FaultHit hit;
+  FaultInjector& faults = FaultInjector::Global();
+  if (faults.ShouldFire("grad", progress_.steps, &hit)) {
+    PoisonOneValue(model_->Parameters(), hit, /*poison_grad=*/true);
+  }
+
+  nn::GradClipResult clip = optimizer_->ClipGradNorm(config_.grad_clip_norm);
+  if (clip.finite) {
+    optimizer_->Step();
+  } else if (!config_.guard_enabled) {
+    // No guard to roll back and retry: skipping the poisoned update is the
+    // only defense left, and it deserves a loud note.
+    OM_LOG(Warning) << "non-finite gradient at step " << progress_.steps
+                    << "; update skipped (guard disabled)";
+  }
+
+  // Fault point "param": corrupt one parameter value after the update (a
+  // torn write / bit flip in the weights).
+  if (faults.ShouldFire("param", progress_.steps, &hit)) {
+    PoisonOneValue(model_->Parameters(), hit, /*poison_grad=*/false);
+  }
+
+  StepOutcome out;
+  out.losses = {loss.ScalarValue(), rating_loss, scl_loss, domain_loss};
+  out.grad_norm = clip.norm;
+  out.grads_finite = clip.finite;
+  // Fault point "loss": spike the observed step loss (default 10x) to
+  // exercise the divergence detector.
+  if (faults.ShouldFire("loss", progress_.steps, &hit)) {
+    out.losses[0] *= hit.magnitude == 0.0 ? 10.0 : hit.magnitude;
+  }
+  return out;
+}
+
+void OmniMatchTrainer::CaptureGuardSnapshot(GuardSnapshot* snap) const {
+  const std::vector<nn::Tensor>& params = optimizer_->params();
+  snap->params.resize(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    // Same-size vector assignment reuses the destination's buffer, so after
+    // the first step this is a plain memcpy per parameter.
+    snap->params[i] = params[i].data();
+  }
+  optimizer_->ExportStateInto(&snap->optimizer);
+  snap->lr = optimizer_->lr();
+  snap->trainer_rng = rng_.GetState();
+  snap->model_rngs = model_->RngStates();
+}
+
+void OmniMatchTrainer::RestoreGuardSnapshot(const GuardSnapshot& snapshot) {
+  std::vector<nn::Tensor> params = model_->Parameters();
+  OM_CHECK_EQ(params.size(), snapshot.params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].data() = snapshot.params[i];
+  }
+  Status restored = optimizer_->ImportState(snapshot.optimizer);
+  OM_CHECK(restored.ok()) << restored.ToString();
+  optimizer_->set_lr(snapshot.lr);
+  rng_.SetState(snapshot.trainer_rng);
+  Status rngs = model_->SetRngStates(snapshot.model_rngs);
+  OM_CHECK(rngs.ok()) << rngs.ToString();
 }
 
 namespace {
@@ -424,7 +512,13 @@ TrainStats OmniMatchTrainer::Train() {
   // LoadCheckpoint continues after the checkpointed epoch with the exact
   // RNG streams and sample permutation of the original run, so the two
   // trajectories are bit-identical.
-  for (int epoch = epochs_completed_; epoch < config_.epochs; ++epoch) {
+  const bool guard_on = config_.guard_enabled;
+  bool gave_up = false;
+  // Hoisted so the per-step capture reuses the same buffers every step
+  // (see CaptureGuardSnapshot).
+  GuardSnapshot snap;
+  for (int epoch = epochs_completed_; epoch < config_.epochs && !gave_up;
+       ++epoch) {
     rng_.Shuffle(sample_order_);
     double total = 0.0, rating = 0.0, scl = 0.0, domain = 0.0;
     int batches = 0;
@@ -440,11 +534,60 @@ TrainStats OmniMatchTrainer::Train() {
         batch.push_back(train_samples_[static_cast<size_t>(
             sample_order_[i])]);
       }
-      auto losses = TrainBatch(batch);
-      total += losses[0];
-      rating += losses[1];
-      scl += losses[2];
-      domain += losses[3];
+      // Self-healing step: snapshot, attempt, and on a detected fault roll
+      // back to the snapshot, back off the LR, and retry the SAME batch
+      // (the restored RNG streams make the retry bit-deterministic). The
+      // snapshot covers everything a batch mutates, so the loop's loss
+      // accumulators — updated only after the guard accepts — need none.
+      if (guard_on) CaptureGuardSnapshot(&snap);
+      StepOutcome outcome;
+      while (true) {
+        outcome = TrainBatch(batch);
+        if (!guard_on) break;
+        bool params_finite = nn::AllFinite(params);
+        double threshold = 0.0;
+        FaultReason reason = guard_.Check(outcome.losses[0],
+                                          outcome.grads_finite,
+                                          params_finite, &threshold);
+        if (reason == FaultReason::kNone) break;
+        // Roll back before anything else: even when the budget is spent,
+        // training must end on the last GOOD state, not the poisoned one.
+        RestoreGuardSnapshot(snap);
+        if (progress_.recoveries >= config_.max_recoveries) {
+          OM_LOG(Error) << "guard: " << FaultReasonName(reason)
+                        << " at step " << progress_.steps << " but the "
+                        << config_.max_recoveries
+                        << "-recovery budget is spent; stopping on the last "
+                           "good state";
+          progress_.guard_gave_up = true;
+          gave_up = true;
+          break;
+        }
+        RecoveryEvent event;
+        event.step = progress_.steps;
+        event.reason = reason;
+        event.observed = reason == FaultReason::kNonFiniteGrad
+                             ? outcome.grad_norm
+                             : outcome.losses[0];
+        event.threshold = threshold;
+        event.lr_before = optimizer_->lr();
+        event.lr_after = event.lr_before * config_.lr_backoff;
+        optimizer_->set_lr(event.lr_after);
+        ++progress_.recoveries;
+        progress_.recovery_events.push_back(event);
+        OM_LOG(Warning) << StrFormat(
+            "guard: %s at step %d (observed %.4g, threshold %.4g); rolled "
+            "back, lr %.4g -> %.4g, retry %d/%d",
+            FaultReasonName(reason), progress_.steps, event.observed,
+            event.threshold, static_cast<double>(event.lr_before),
+            static_cast<double>(event.lr_after), progress_.recoveries,
+            config_.max_recoveries);
+      }
+      if (gave_up) break;
+      total += outcome.losses[0];
+      rating += outcome.losses[1];
+      scl += outcome.losses[2];
+      domain += outcome.losses[3];
       ++batches;
       ++progress_.steps;
     }
@@ -676,6 +819,12 @@ Status OmniMatchTrainer::SaveCheckpoint(const std::string& path) const {
   state.best_rmse = best_rmse_;
   state.best_params = best_params_;
   state.sample_order.assign(sample_order_.begin(), sample_order_.end());
+  state.recovery_events = progress_.recovery_events;
+  state.recoveries = progress_.recoveries;
+  state.guard_gave_up = progress_.guard_gave_up ? 1 : 0;
+  state.current_lr = optimizer_->lr();
+  state.guard_ema = guard_.ema();
+  state.guard_healthy_steps = guard_.healthy_steps();
   return SaveCheckpointFile(path, state);
 }
 
@@ -752,11 +901,19 @@ Status OmniMatchTrainer::LoadCheckpoint(const std::string& path) {
   progress_.validation_rmse = std::move(state.validation_rmse);
   progress_.best_epoch = state.best_epoch;
   progress_.steps = static_cast<int>(state.steps);
+  progress_.recovery_events = std::move(state.recovery_events);
+  progress_.recoveries = state.recoveries;
+  progress_.guard_gave_up = state.guard_gave_up != 0;
   epochs_completed_ = state.epochs_completed;
   best_rmse_ = state.best_rmse;
   best_params_ = std::move(state.best_params);
   sample_order_.assign(state.sample_order.begin(),
                        state.sample_order.end());
+  // Resume on the LIVE learning rate (post-backoff, not the config value)
+  // and the guard's divergence baseline, or a recovered run would repeat
+  // the divergence it already escaped.
+  optimizer_->set_lr(state.current_lr);
+  guard_.Restore(state.guard_ema, state.guard_healthy_steps);
   return Status::OK();
 }
 

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "core/aux_review.h"
 #include "core/config.h"
+#include "core/guard.h"
 #include "core/model.h"
 #include "data/dataset.h"
 #include "data/splits.h"
@@ -35,6 +36,12 @@ struct TrainStats {
   /// the epoch whose parameters were kept.
   std::vector<double> validation_rmse;
   int best_epoch = -1;
+  /// Self-healing guard outcome: every rollback performed (in step order),
+  /// how much of the --max_recoveries budget was spent, and whether the
+  /// guard exhausted it and stopped training on the last good state.
+  std::vector<RecoveryEvent> recovery_events;
+  int recoveries = 0;
+  bool guard_gave_up = false;
 };
 
 /// End-to-end OmniMatch training and cold-start evaluation for one
@@ -123,11 +130,40 @@ class OmniMatchTrainer {
     int label = 0;  // rating - 1, in [0, num_rating_classes)
   };
 
+  /// Loss breakdown plus gradient health of one training step, consumed by
+  /// the guard.
+  struct StepOutcome {
+    std::array<double, 4> losses = {0.0, 0.0, 0.0, 0.0};
+    double grad_norm = 0.0;
+    bool grads_finite = true;
+  };
+
+  /// Everything a mid-epoch rollback must restore: parameters, optimizer
+  /// accumulators, the live learning rate, and every RNG stream (document
+  /// assembly and dropout draw from them per batch). The epoch loop's loss
+  /// accumulators need no snapshot — they are only updated after the guard
+  /// accepts the step.
+  struct GuardSnapshot {
+    std::vector<std::vector<float>> params;
+    nn::OptimizerState optimizer;
+    float lr = 0.0f;
+    Rng::State trainer_rng;
+    std::vector<Rng::State> model_rngs;
+  };
+
   const std::string& TextOf(const data::Review& review) const;
   void BuildVocabulary();
   void BuildDocuments();
-  /// Runs one training batch; returns (total, rating, scl, domain) losses.
-  std::array<double, 4> TrainBatch(const std::vector<TrainSample>& batch);
+  /// Runs one training batch: forward, backward, hardened gradient clip,
+  /// and — only when the gradients are finite — the optimizer step.
+  /// Consults the "grad", "param" and "loss" fault-injection points.
+  StepOutcome TrainBatch(const std::vector<TrainSample>& batch);
+  /// Writes the full rollback state into `snap`, reusing its buffers when
+  /// the shapes already match: the guard captures before EVERY step, so
+  /// this path must be allocation-free in steady state (the <5%% per-step
+  /// overhead budget leaves no room for heap churn).
+  void CaptureGuardSnapshot(GuardSnapshot* snap) const;
+  void RestoreGuardSnapshot(const GuardSnapshot& snapshot);
   /// Batched expected-rating predictions (eval mode).
   std::vector<float> PredictBatch(const std::vector<TrainSample>& batch);
   /// Flattened fixed-length documents for a batch (evaluation path).
@@ -192,6 +228,8 @@ class OmniMatchTrainer {
   /// Current permutation of train_samples_ indices. Epoch shuffles compose
   /// in place, so the order is part of the resumable state.
   std::vector<int> sample_order_;
+  /// Numerical-health watchdog (EMA state is checkpointed).
+  TrainingGuard guard_{TrainingGuard::Options{}};
 };
 
 }  // namespace core

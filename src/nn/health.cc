@@ -1,0 +1,128 @@
+#include "nn/health.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "common/threadpool.h"
+
+namespace omnimatch {
+namespace nn {
+
+namespace {
+
+/// Elements per scan block. Fixed (not derived from the thread count) so the
+/// block boundaries — and therefore the sum_sq rounding — never depend on
+/// the pool size.
+constexpr int64_t kScanBlock = 1 << 14;
+
+BufferHealth ScanRange(const float* data, int64_t begin, int64_t end) {
+  BufferHealth h;
+  h.count = end - begin;
+  for (int64_t i = begin; i < end; ++i) {
+    float v = data[i];
+    if (std::isnan(v)) {
+      ++h.nan_count;
+    } else if (std::isinf(v)) {
+      ++h.inf_count;
+    } else {
+      h.min_value = std::min(h.min_value, v);
+      h.max_value = std::max(h.max_value, v);
+      h.sum_sq += static_cast<double>(v) * v;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+double BufferHealth::l2() const { return std::sqrt(sum_sq); }
+
+void BufferHealth::Merge(const BufferHealth& other) {
+  count += other.count;
+  nan_count += other.nan_count;
+  inf_count += other.inf_count;
+  min_value = std::min(min_value, other.min_value);
+  max_value = std::max(max_value, other.max_value);
+  sum_sq += other.sum_sq;
+}
+
+BufferHealth ScanBuffer(const float* data, int64_t n) {
+  if (n <= 0) return BufferHealth{};
+  if (n <= kScanBlock) return ScanRange(data, 0, n);
+  int64_t blocks = (n + kScanBlock - 1) / kScanBlock;
+  std::vector<BufferHealth> partials(static_cast<size_t>(blocks));
+  ParallelFor(0, blocks, 1, [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      partials[static_cast<size_t>(b)] = ScanRange(
+          data, b * kScanBlock, std::min(n, (b + 1) * kScanBlock));
+    }
+  });
+  BufferHealth total;
+  for (const BufferHealth& p : partials) total.Merge(p);
+  return total;
+}
+
+std::string HealthReport::ToString() const {
+  auto one = [](const char* label, const BufferHealth& h) {
+    if (h.count == 0) return StrFormat("%s empty", label);
+    return StrFormat(
+        "%s n=%lld l2=%.4g range=[%.4g,%.4g] nonfinite=%lld", label,
+        static_cast<long long>(h.count), h.l2(),
+        static_cast<double>(h.min_value), static_cast<double>(h.max_value),
+        static_cast<long long>(h.nonfinite()));
+  };
+  return one("params", params) + " | " + one("grads", grads);
+}
+
+HealthReport CheckHealth(const std::vector<Tensor>& tensors,
+                         bool with_grads) {
+  HealthReport report;
+  report.param_health.reserve(tensors.size());
+  for (const Tensor& t : tensors) {
+    report.param_health.push_back(
+        ScanBuffer(t.data().data(), static_cast<int64_t>(t.data().size())));
+    report.params.Merge(report.param_health.back());
+  }
+  if (with_grads) {
+    report.grad_health.reserve(tensors.size());
+    for (const Tensor& t : tensors) {
+      // Read impl->grad directly: the grad() accessor would ALLOCATE an
+      // unallocated buffer, and a health check must not mutate anything.
+      // An empty (unallocated) buffer is trivially healthy.
+      const std::vector<float>& g = t.impl()->grad;
+      report.grad_health.push_back(
+          ScanBuffer(g.data(), static_cast<int64_t>(g.size())));
+      report.grads.Merge(report.grad_health.back());
+    }
+  }
+  return report;
+}
+
+bool AllFinite(const std::vector<Tensor>& tensors) {
+  // Branch-free inner loop (a float is non-finite iff its exponent bits
+  // are all ones) with one verdict per block: the per-element early exit
+  // an isfinite() loop implies would block vectorization, and the healthy
+  // case — where every element is read anyway — is the hot path.
+  constexpr int64_t kBlock = 4096;
+  for (const Tensor& t : tensors) {
+    const std::vector<float>& d = t.data();
+    const int64_t n = static_cast<int64_t>(d.size());
+    for (int64_t begin = 0; begin < n; begin += kBlock) {
+      const int64_t end = std::min(n, begin + kBlock);
+      uint32_t bad = 0;
+      for (int64_t i = begin; i < end; ++i) {
+        const uint32_t bits =
+            std::bit_cast<uint32_t>(d[static_cast<size_t>(i)]);
+        bad |= static_cast<uint32_t>((bits & 0x7f800000u) == 0x7f800000u);
+      }
+      if (bad != 0) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace nn
+}  // namespace omnimatch

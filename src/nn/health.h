@@ -1,0 +1,69 @@
+#ifndef OMNIMATCH_NN_HEALTH_H_
+#define OMNIMATCH_NN_HEALTH_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace omnimatch {
+namespace nn {
+
+/// Numerical-health summary of one float buffer: non-finite counts plus
+/// min/max/L2 over the finite values. Cheap to merge, so per-tensor and
+/// aggregate views come from the same scan.
+struct BufferHealth {
+  int64_t count = 0;
+  int64_t nan_count = 0;
+  int64_t inf_count = 0;
+  /// Extremes and squared L2 over FINITE values only (so the report stays
+  /// informative even when a few entries are poisoned).
+  float min_value = std::numeric_limits<float>::infinity();
+  float max_value = -std::numeric_limits<float>::infinity();
+  double sum_sq = 0.0;
+
+  bool finite() const { return nan_count == 0 && inf_count == 0; }
+  int64_t nonfinite() const { return nan_count + inf_count; }
+  double l2() const;
+
+  /// Folds `other` in; merging in index order keeps sum_sq bit-identical
+  /// for any thread count.
+  void Merge(const BufferHealth& other);
+};
+
+/// Scans `data[0, n)` with the shared thread pool. Fixed-size blocks each
+/// produce a partial that is merged serially in index order, so the result
+/// is bit-identical whether the pool has 1 thread or 64.
+BufferHealth ScanBuffer(const float* data, int64_t n);
+
+/// Per-module health: one BufferHealth per parameter tensor (and per
+/// gradient buffer when requested) plus index-order aggregates.
+struct HealthReport {
+  std::vector<BufferHealth> param_health;
+  std::vector<BufferHealth> grad_health;  // empty when grads not scanned
+  BufferHealth params;
+  BufferHealth grads;
+
+  bool all_finite() const { return params.finite() && grads.finite(); }
+  /// One-line summary for logs, e.g.
+  /// "params n=1204 l2=3.41 range=[-0.92,0.88] nonfinite=0 | grads ...".
+  std::string ToString() const;
+};
+
+/// Scans every tensor in `tensors` (and, with `with_grads`, its gradient
+/// buffer — unallocated gradients count as empty and healthy).
+HealthReport CheckHealth(const std::vector<Tensor>& tensors, bool with_grads);
+
+/// True when every value in every tensor's data buffer is finite.
+/// The training guard runs this over all parameters after every step, so
+/// it is deliberately lighter than CheckHealth: no statistics, no heap
+/// allocations, and it stops at the first non-finite value. Use
+/// CheckHealth when a diagnostic report is wanted.
+bool AllFinite(const std::vector<Tensor>& tensors);
+
+}  // namespace nn
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_NN_HEALTH_H_

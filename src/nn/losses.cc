@@ -15,6 +15,7 @@ Tensor SoftmaxCrossEntropy(const Tensor& logits,
   OM_CHECK_EQ(logits.ndim(), 2);
   int batch = logits.dim(0);
   int classes = logits.dim(1);
+  OM_CHECK_GT(batch, 0);  // mean over an empty batch is NaN
   OM_CHECK_EQ(static_cast<size_t>(batch), labels.size());
   for (int y : labels) OM_CHECK(y >= 0 && y < classes) << "label " << y;
 
@@ -75,6 +76,7 @@ Tensor SoftmaxCrossEntropy(const Tensor& logits,
 Tensor MseLoss(const Tensor& pred, const std::vector<float>& target) {
   OM_CHECK_EQ(static_cast<size_t>(pred.numel()), target.size());
   int n = static_cast<int>(target.size());
+  OM_CHECK_GT(n, 0);  // mean over an empty batch is NaN
 
   auto out = std::make_shared<TensorImpl>();
   out->shape = {1};
@@ -113,6 +115,14 @@ Tensor SupConLoss(const Tensor& features, const std::vector<int>& labels,
   int dim = features.dim(1);
   OM_CHECK_EQ(static_cast<size_t>(batch), labels.size());
   OM_CHECK_GT(temperature, 0.0f);
+
+  if (batch < 2) {
+    // A single feature (or none) cannot form a positive pair. Bail out
+    // before the softmax-over-A(i) pass: with an empty A(i) its
+    // log-sum-exp is log(0) = -inf, a non-finite intermediate that health
+    // scans would flag even though the final loss is a constant zero.
+    return Tensor::Scalar(0.0f);
+  }
 
   // --- Forward ---
   // 1. L2-normalize rows.

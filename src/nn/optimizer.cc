@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "common/string_util.h"
+#include "common/threadpool.h"
+#include "nn/health.h"
 
 namespace omnimatch {
 namespace nn {
@@ -21,18 +23,35 @@ void Optimizer::ZeroGrad() {
   for (Tensor& p : params_) p.ZeroGrad();
 }
 
-void Optimizer::ClipGradNorm(float max_norm) {
+GradClipResult Optimizer::ClipGradNorm(float max_norm) {
   OM_CHECK_GT(max_norm, 0.0f);
-  double sq = 0.0;
+  // One deterministic parallel scan yields both the norm and the non-finite
+  // detection; per-tensor partials merge in index order, so the norm (and
+  // therefore the scaled gradients) is bit-identical for any thread count.
+  BufferHealth health;
   for (Tensor& p : params_) {
-    for (float g : p.grad()) sq += static_cast<double>(g) * g;
+    health.Merge(
+        ScanBuffer(p.grad().data(), static_cast<int64_t>(p.grad().size())));
   }
-  double norm = std::sqrt(sq);
-  if (norm <= max_norm) return;
-  float scale = static_cast<float>(max_norm / (norm + 1e-12));
+  GradClipResult result;
+  result.norm = health.l2();
+  // sum_sq accumulates only finite values, but squaring huge-but-finite
+  // gradients can itself overflow to Inf — treat that as poisoned too.
+  if (!health.finite() || !std::isfinite(result.norm)) {
+    result.finite = false;
+    return result;  // do NOT scale: max_norm / NaN poisons every parameter
+  }
+  if (result.norm <= max_norm) return result;  // includes the zero gradient
+  result.clipped = true;
+  float scale = static_cast<float>(max_norm / (result.norm + 1e-12));
   for (Tensor& p : params_) {
-    for (float& g : p.grad()) g *= scale;
+    float* g = p.grad().data();
+    ParallelFor(0, static_cast<int64_t>(p.grad().size()), 1 << 14,
+                [g, scale](int64_t i0, int64_t i1) {
+                  for (int64_t i = i0; i < i1; ++i) g[i] *= scale;
+                });
   }
+  return result;
 }
 
 Status Optimizer::ImportState(const OptimizerState& state) {
@@ -92,8 +111,14 @@ void Sgd::Step() {
 
 OptimizerState Sgd::ExportState() const {
   OptimizerState state;
-  state.slots = velocity_;
+  ExportStateInto(&state);
   return state;
+}
+
+void Sgd::ExportStateInto(OptimizerState* out) const {
+  out->counters.clear();
+  out->slots.resize(velocity_.size());
+  for (size_t i = 0; i < velocity_.size(); ++i) out->slots[i] = velocity_[i];
 }
 
 Status Sgd::ImportState(const OptimizerState& state) {
@@ -141,10 +166,15 @@ void Adam::Step() {
 
 OptimizerState Adam::ExportState() const {
   OptimizerState state;
-  state.counters = {t_};
-  state.slots = m_;
-  state.slots.insert(state.slots.end(), v_.begin(), v_.end());
+  ExportStateInto(&state);
   return state;
+}
+
+void Adam::ExportStateInto(OptimizerState* out) const {
+  out->counters.assign(1, t_);
+  out->slots.resize(m_.size() + v_.size());
+  for (size_t i = 0; i < m_.size(); ++i) out->slots[i] = m_[i];
+  for (size_t i = 0; i < v_.size(); ++i) out->slots[m_.size() + i] = v_[i];
 }
 
 Status Adam::ImportState(const OptimizerState& state) {
@@ -188,10 +218,19 @@ void Adadelta::Step() {
 
 OptimizerState Adadelta::ExportState() const {
   OptimizerState state;
-  state.slots = accum_grad_;
-  state.slots.insert(state.slots.end(), accum_update_.begin(),
-                     accum_update_.end());
+  ExportStateInto(&state);
   return state;
+}
+
+void Adadelta::ExportStateInto(OptimizerState* out) const {
+  out->counters.clear();
+  out->slots.resize(accum_grad_.size() + accum_update_.size());
+  for (size_t i = 0; i < accum_grad_.size(); ++i) {
+    out->slots[i] = accum_grad_[i];
+  }
+  for (size_t i = 0; i < accum_update_.size(); ++i) {
+    out->slots[accum_grad_.size() + i] = accum_update_[i];
+  }
 }
 
 Status Adadelta::ImportState(const OptimizerState& state) {

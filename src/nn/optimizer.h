@@ -21,6 +21,18 @@ struct OptimizerState {
   std::vector<std::vector<float>> slots;
 };
 
+/// Outcome of a ClipGradNorm call, consumed by the training guard.
+///
+/// `norm` is the global L2 norm over the FINITE gradient values; `finite`
+/// is false when any gradient is NaN/Inf (or the squared sum overflowed),
+/// in which case no scaling was applied — clipping a poisoned gradient
+/// would otherwise turn every parameter into NaN in one step.
+struct GradClipResult {
+  double norm = 0.0;
+  bool finite = true;
+  bool clipped = false;
+};
+
 /// Base optimizer over a fixed parameter list.
 ///
 /// Usage per training step: ZeroGrad() -> forward -> loss.Backward() ->
@@ -41,12 +53,31 @@ class Optimizer {
   void ZeroGrad();
 
   /// Clips gradients to a maximum global L2 norm. Call before Step().
-  /// No-op if the current norm is below `max_norm`.
-  void ClipGradNorm(float max_norm);
+  /// No-op if the current norm is below `max_norm` — including the zero
+  /// gradient — or when any gradient is non-finite (see GradClipResult:
+  /// scaling by a NaN norm would silently poison every parameter). The
+  /// caller decides what to do with an unhealthy result; Step() must be
+  /// skipped for the detection to be worth anything.
+  GradClipResult ClipGradNorm(float max_norm);
+
+  /// Current learning rate / scale applied at Step().
+  virtual float lr() const = 0;
+
+  /// Overrides the learning rate; the guard's divergence backoff uses this.
+  virtual void set_lr(float lr) = 0;
 
   /// Exports the accumulator buffers and step counters needed to resume
   /// optimization bit-for-bit. Stateless optimizers return empty state.
   virtual OptimizerState ExportState() const { return OptimizerState(); }
+
+  /// Same as ExportState, but writes into `out`, reusing its buffers when
+  /// the shapes already match. The guard captures a rollback snapshot every
+  /// training step; this keeps that capture allocation-free after the
+  /// first step.
+  virtual void ExportStateInto(OptimizerState* out) const {
+    out->counters.clear();
+    out->slots.clear();
+  }
 
   /// Restores state captured by ExportState on an optimizer constructed
   /// over the same parameter list. InvalidArgument when the slot/counter
@@ -75,10 +106,11 @@ class Sgd : public Optimizer {
   /// State layout: one velocity slot per parameter (none when momentum is
   /// off — plain SGD is stateless). No counters.
   OptimizerState ExportState() const override;
+  void ExportStateInto(OptimizerState* out) const override;
   Status ImportState(const OptimizerState& state) override;
 
-  void set_lr(float lr) { lr_ = lr; }
-  float lr() const { return lr_; }
+  void set_lr(float lr) override { lr_ = lr; }
+  float lr() const override { return lr_; }
 
  private:
   float lr_;
@@ -98,7 +130,11 @@ class Adam : public Optimizer {
   /// State layout: all first moments, then all second moments (2P slots);
   /// counters = {t}.
   OptimizerState ExportState() const override;
+  void ExportStateInto(OptimizerState* out) const override;
   Status ImportState(const OptimizerState& state) override;
+
+  void set_lr(float lr) override { lr_ = lr; }
+  float lr() const override { return lr_; }
 
  private:
   float lr_;
@@ -123,7 +159,11 @@ class Adadelta : public Optimizer {
   /// State layout: all gradient accumulators, then all update accumulators
   /// (2P slots). No counters.
   OptimizerState ExportState() const override;
+  void ExportStateInto(OptimizerState* out) const override;
   Status ImportState(const OptimizerState& state) override;
+
+  void set_lr(float lr) override { lr_ = lr; }
+  float lr() const override { return lr_; }
 
  private:
   float lr_;

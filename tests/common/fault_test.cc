@@ -1,0 +1,167 @@
+#include "common/fault.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace omnimatch {
+namespace {
+
+/// Every test runs against a fresh local injector; the Global() singleton
+/// is only touched where the singleton behaviour itself is under test.
+class FaultTest : public ::testing::Test {
+ protected:
+  FaultInjector injector_;
+};
+
+TEST_F(FaultTest, UnarmedNeverFires) {
+  EXPECT_FALSE(injector_.armed());
+  EXPECT_FALSE(injector_.ShouldFire("grad", int64_t{0}));
+  EXPECT_FALSE(injector_.ShouldFire("loss", 123));
+  EXPECT_EQ(injector_.fired(), 0);
+}
+
+TEST_F(FaultTest, FiresAtArmedStepOnly) {
+  FaultSpec spec;
+  spec.point = "grad";
+  spec.step = 5;
+  injector_.Arm(spec);
+  EXPECT_TRUE(injector_.armed());
+
+  EXPECT_FALSE(injector_.ShouldFire("grad", 4));
+  FaultHit hit;
+  EXPECT_TRUE(injector_.ShouldFire("grad", 5, &hit));
+  EXPECT_EQ(hit.magnitude, 0.0);  // site default
+  // Re-consulting the same step (a rollback retry) must NOT re-fire.
+  EXPECT_FALSE(injector_.ShouldFire("grad", 5));
+  // count=1: spent for later steps too.
+  EXPECT_FALSE(injector_.ShouldFire("grad", 6));
+  EXPECT_EQ(injector_.fired(), 1);
+}
+
+TEST_F(FaultTest, PointNamesAreIndependent) {
+  FaultSpec spec;
+  spec.point = "loss";
+  spec.step = 2;
+  injector_.Arm(spec);
+  EXPECT_FALSE(injector_.ShouldFire("grad", 2));
+  EXPECT_TRUE(injector_.ShouldFire("loss", 2));
+}
+
+TEST_F(FaultTest, CountFiresOnDistinctSteps) {
+  FaultSpec spec;
+  spec.point = "grad";
+  spec.step = 3;
+  spec.count = 2;
+  injector_.Arm(spec);
+
+  EXPECT_TRUE(injector_.ShouldFire("grad", 3));
+  EXPECT_FALSE(injector_.ShouldFire("grad", 3));  // same step: spent
+  EXPECT_TRUE(injector_.ShouldFire("grad", 4));   // next distinct step
+  EXPECT_FALSE(injector_.ShouldFire("grad", 5));  // budget exhausted
+  EXPECT_EQ(injector_.fired(), 2);
+}
+
+TEST_F(FaultTest, SteplessOverloadCountsConsultations) {
+  FaultSpec spec;
+  spec.point = "checkpoint_write";
+  spec.step = 1;  // fire on the SECOND consultation (counter starts at 0)
+  injector_.Arm(spec);
+
+  EXPECT_FALSE(injector_.ShouldFire("checkpoint_write"));
+  EXPECT_TRUE(injector_.ShouldFire("checkpoint_write"));
+  EXPECT_FALSE(injector_.ShouldFire("checkpoint_write"));
+}
+
+TEST_F(FaultTest, DisarmResetsEverything) {
+  FaultSpec spec;
+  spec.point = "grad";
+  spec.step = 0;
+  injector_.Arm(spec);
+  EXPECT_TRUE(injector_.ShouldFire("grad", int64_t{0}));
+  injector_.Disarm();
+  EXPECT_FALSE(injector_.armed());
+  EXPECT_EQ(injector_.fired(), 0);
+  // Re-arming after Disarm starts from a clean slate.
+  injector_.Arm(spec);
+  EXPECT_TRUE(injector_.ShouldFire("grad", int64_t{0}));
+}
+
+TEST_F(FaultTest, ParsesBareSpec) {
+  ASSERT_TRUE(injector_.ArmFromString("grad@5").ok());
+  FaultHit hit;
+  EXPECT_TRUE(injector_.ShouldFire("grad", 5, &hit));
+  EXPECT_EQ(hit.magnitude, 0.0);
+  EXPECT_EQ(hit.seed, 0u);
+}
+
+TEST_F(FaultTest, ParsesAllKeys) {
+  ASSERT_TRUE(
+      injector_.ArmFromString("loss@3:mag=12.5,count=2,seed=42").ok());
+  FaultHit hit;
+  EXPECT_TRUE(injector_.ShouldFire("loss", 3, &hit));
+  EXPECT_DOUBLE_EQ(hit.magnitude, 12.5);
+  EXPECT_EQ(hit.seed, 42u);
+  EXPECT_TRUE(injector_.ShouldFire("loss", 4, &hit));
+  EXPECT_FALSE(injector_.ShouldFire("loss", 5, &hit));
+}
+
+TEST_F(FaultTest, ParsesNanAndInfMagnitudes) {
+  ASSERT_TRUE(
+      injector_.ArmFromString("grad@1:mag=nan;param@2:mag=inf").ok());
+  FaultHit hit;
+  EXPECT_TRUE(injector_.ShouldFire("grad", 1, &hit));
+  EXPECT_TRUE(std::isnan(hit.magnitude));
+  EXPECT_TRUE(injector_.ShouldFire("param", 2, &hit));
+  EXPECT_TRUE(std::isinf(hit.magnitude));
+  EXPECT_GT(hit.magnitude, 0.0);
+}
+
+TEST_F(FaultTest, ParsesMultipleSpecsAndWhitespace) {
+  ASSERT_TRUE(injector_.ArmFromString(" grad@1 ; loss@2:mag=10 ").ok());
+  EXPECT_TRUE(injector_.ShouldFire("grad", 1));
+  EXPECT_TRUE(injector_.ShouldFire("loss", 2));
+}
+
+TEST_F(FaultTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(injector_.ArmFromString("grad").ok());          // no step
+  EXPECT_FALSE(injector_.ArmFromString("@5").ok());            // no point
+  EXPECT_FALSE(injector_.ArmFromString("grad@x").ok());        // bad step
+  EXPECT_FALSE(injector_.ArmFromString("grad@5:mag=oops").ok());
+  EXPECT_FALSE(injector_.ArmFromString("grad@5:bogus=1").ok());
+}
+
+TEST_F(FaultTest, DeterministicAcrossRuns) {
+  // Two injectors armed identically make identical decisions for an
+  // identical consultation sequence — the property same-seed reproduction
+  // rests on.
+  FaultInjector a, b;
+  ASSERT_TRUE(a.ArmFromString("grad@2:count=3;loss@4:mag=7").ok());
+  ASSERT_TRUE(b.ArmFromString("grad@2:count=3;loss@4:mag=7").ok());
+  for (int64_t step = 0; step < 10; ++step) {
+    FaultHit ha, hb;
+    bool fa = a.ShouldFire("grad", step, &ha);
+    bool fb = b.ShouldFire("grad", step, &hb);
+    EXPECT_EQ(fa, fb) << "step " << step;
+    fa = a.ShouldFire("loss", step, &ha);
+    fb = b.ShouldFire("loss", step, &hb);
+    EXPECT_EQ(fa, fb) << "step " << step;
+    if (fa) {
+      EXPECT_EQ(ha.magnitude, hb.magnitude);
+      EXPECT_EQ(ha.seed, hb.seed);
+    }
+  }
+  EXPECT_EQ(a.fired(), b.fired());
+}
+
+TEST_F(FaultTest, GlobalSingletonArmAndDisarm) {
+  FaultInjector& global = FaultInjector::Global();
+  global.Disarm();
+  ASSERT_TRUE(global.ArmFromString("grad@0").ok());
+  EXPECT_TRUE(global.ShouldFire("grad", int64_t{0}));
+  global.Disarm();
+  EXPECT_FALSE(global.armed());
+}
+
+}  // namespace
+}  // namespace omnimatch

@@ -1,0 +1,109 @@
+#include "core/guard.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace omnimatch {
+namespace core {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TrainingGuard::Options FastOptions() {
+  TrainingGuard::Options options;
+  options.spike_factor = 4.0;
+  options.ema_decay = 0.5;
+  options.warmup_steps = 3;
+  return options;
+}
+
+TEST(TrainingGuardTest, HealthyStepsPass) {
+  TrainingGuard guard(FastOptions());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(guard.Check(1.0, true, true), FaultReason::kNone);
+  }
+  EXPECT_EQ(guard.healthy_steps(), 20);
+  EXPECT_NEAR(guard.ema(), 1.0, 1e-12);
+}
+
+TEST(TrainingGuardTest, NonFiniteLossDetectedImmediately) {
+  TrainingGuard guard(FastOptions());
+  // No warmup needed for non-finite faults: step 0 already detects.
+  EXPECT_EQ(guard.Check(kNaN, true, true), FaultReason::kNonFiniteLoss);
+  EXPECT_EQ(guard.Check(std::numeric_limits<double>::infinity(), true, true),
+            FaultReason::kNonFiniteLoss);
+  EXPECT_EQ(guard.healthy_steps(), 0);
+}
+
+TEST(TrainingGuardTest, NonFiniteGradAndParamDetected) {
+  TrainingGuard guard(FastOptions());
+  EXPECT_EQ(guard.Check(1.0, false, true), FaultReason::kNonFiniteGrad);
+  EXPECT_EQ(guard.Check(1.0, true, false), FaultReason::kNonFiniteParam);
+  // A non-finite loss outranks the others (it is checked first).
+  EXPECT_EQ(guard.Check(kNaN, false, false), FaultReason::kNonFiniteLoss);
+}
+
+TEST(TrainingGuardTest, SpikeDetectedOnlyAfterWarmup) {
+  TrainingGuard guard(FastOptions());
+  // During warmup a huge loss passes (EMA not armed yet)...
+  EXPECT_EQ(guard.Check(1.0, true, true), FaultReason::kNone);
+  EXPECT_EQ(guard.Check(100.0, true, true), FaultReason::kNone);
+  EXPECT_EQ(guard.Check(1.0, true, true), FaultReason::kNone);
+  EXPECT_EQ(guard.Check(1.0, true, true), FaultReason::kNone);
+  // ...after warmup_steps=3 healthy steps, a 4x-EMA loss is a fault.
+  double threshold = 0.0;
+  EXPECT_EQ(guard.Check(1000.0, true, true, &threshold),
+            FaultReason::kLossSpike);
+  EXPECT_GT(threshold, 0.0);
+  EXPECT_LT(threshold, 1000.0);
+}
+
+TEST(TrainingGuardTest, FaultyLossDoesNotMoveTheEma) {
+  TrainingGuard guard(FastOptions());
+  for (int i = 0; i < 5; ++i) guard.Check(1.0, true, true);
+  double ema_before = guard.ema();
+  int64_t healthy_before = guard.healthy_steps();
+  // A spiked loss must not drag the baseline up, or repeated spikes would
+  // normalize themselves into acceptance.
+  EXPECT_EQ(guard.Check(50.0, true, true), FaultReason::kLossSpike);
+  EXPECT_EQ(guard.ema(), ema_before);
+  EXPECT_EQ(guard.healthy_steps(), healthy_before);
+  // And the SAME spike is still rejected afterwards.
+  EXPECT_EQ(guard.Check(50.0, true, true), FaultReason::kLossSpike);
+}
+
+TEST(TrainingGuardTest, GradualLossGrowthIsAccepted) {
+  TrainingGuard guard(FastOptions());
+  double loss = 1.0;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(guard.Check(loss, true, true), FaultReason::kNone) << i;
+    loss *= 1.3;  // below the 4x spike factor; EMA tracks it
+  }
+}
+
+TEST(TrainingGuardTest, RestoreRoundTripsCheckpointedState) {
+  TrainingGuard a(FastOptions());
+  for (int i = 0; i < 7; ++i) a.Check(2.0, true, true);
+
+  TrainingGuard b(FastOptions());
+  b.Restore(a.ema(), a.healthy_steps());
+  EXPECT_EQ(b.ema(), a.ema());
+  EXPECT_EQ(b.healthy_steps(), a.healthy_steps());
+  // The restored guard is armed: a spike is detected right away.
+  EXPECT_EQ(b.Check(1000.0, true, true), FaultReason::kLossSpike);
+}
+
+TEST(TrainingGuardTest, ReasonNamesAreDistinct) {
+  EXPECT_STRNE(FaultReasonName(FaultReason::kNone),
+               FaultReasonName(FaultReason::kNonFiniteLoss));
+  EXPECT_STRNE(FaultReasonName(FaultReason::kLossSpike),
+               FaultReasonName(FaultReason::kNonFiniteGrad));
+  EXPECT_NE(std::string(FaultReasonName(FaultReason::kNonFiniteParam)), "");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace omnimatch

@@ -1,0 +1,129 @@
+#include "nn/health.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/threadpool.h"
+#include "nn/tensor.h"
+
+namespace omnimatch {
+namespace nn {
+namespace {
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+TEST(BufferHealthTest, EmptyBufferIsHealthy) {
+  BufferHealth h = ScanBuffer(nullptr, 0);
+  EXPECT_EQ(h.count, 0);
+  EXPECT_TRUE(h.finite());
+  EXPECT_EQ(h.l2(), 0.0);
+}
+
+TEST(BufferHealthTest, CountsAndExtremes) {
+  std::vector<float> data = {1.0f, -3.0f, 2.0f, 0.5f};
+  BufferHealth h = ScanBuffer(data.data(), 4);
+  EXPECT_EQ(h.count, 4);
+  EXPECT_TRUE(h.finite());
+  EXPECT_FLOAT_EQ(h.min_value, -3.0f);
+  EXPECT_FLOAT_EQ(h.max_value, 2.0f);
+  EXPECT_NEAR(h.l2(), std::sqrt(1.0 + 9.0 + 4.0 + 0.25), 1e-12);
+}
+
+TEST(BufferHealthTest, CountsNanAndInfSeparately) {
+  std::vector<float> data = {1.0f, kNaN, -kInf, 2.0f, kNaN};
+  BufferHealth h = ScanBuffer(data.data(), 5);
+  EXPECT_EQ(h.nan_count, 2);
+  EXPECT_EQ(h.inf_count, 1);
+  EXPECT_EQ(h.nonfinite(), 3);
+  EXPECT_FALSE(h.finite());
+  // Extremes and L2 cover the FINITE values only.
+  EXPECT_FLOAT_EQ(h.min_value, 1.0f);
+  EXPECT_FLOAT_EQ(h.max_value, 2.0f);
+  EXPECT_NEAR(h.l2(), std::sqrt(5.0), 1e-12);
+}
+
+TEST(BufferHealthTest, MergeAccumulates) {
+  std::vector<float> a = {1.0f, kNaN};
+  std::vector<float> b = {-4.0f, kInf, 3.0f};
+  BufferHealth h = ScanBuffer(a.data(), 2);
+  h.Merge(ScanBuffer(b.data(), 3));
+  EXPECT_EQ(h.count, 5);
+  EXPECT_EQ(h.nan_count, 1);
+  EXPECT_EQ(h.inf_count, 1);
+  EXPECT_FLOAT_EQ(h.min_value, -4.0f);
+  EXPECT_FLOAT_EQ(h.max_value, 3.0f);
+}
+
+TEST(BufferHealthTest, ParallelScanBitIdenticalAcrossThreadCounts) {
+  // Large enough to cross several scan blocks. The sum-of-squares must be
+  // BIT-identical for any pool size, not merely close.
+  Rng rng(99);
+  std::vector<float> data(200000);
+  for (float& v : data) v = static_cast<float>(rng.Normal(0.0, 3.0));
+  data[12345] = kNaN;
+  data[170001] = kInf;
+
+  SetNumThreads(1);
+  BufferHealth serial = ScanBuffer(data.data(),
+                                   static_cast<int64_t>(data.size()));
+  SetNumThreads(4);
+  BufferHealth parallel = ScanBuffer(data.data(),
+                                     static_cast<int64_t>(data.size()));
+  SetNumThreads(0);
+
+  EXPECT_EQ(serial.nan_count, parallel.nan_count);
+  EXPECT_EQ(serial.inf_count, parallel.inf_count);
+  EXPECT_EQ(serial.min_value, parallel.min_value);
+  EXPECT_EQ(serial.max_value, parallel.max_value);
+  EXPECT_EQ(serial.sum_sq, parallel.sum_sq);  // exact, not approximate
+}
+
+TEST(CheckHealthTest, ReportsPerTensorAndAggregate) {
+  Tensor a = Tensor::Zeros({2, 2});
+  Tensor b = Tensor::Zeros({3});
+  a.data() = {1.0f, 2.0f, 3.0f, 4.0f};
+  b.data() = {kNaN, 0.0f, -1.0f};
+
+  HealthReport report = CheckHealth({a, b}, /*with_grads=*/false);
+  ASSERT_EQ(report.param_health.size(), 2u);
+  EXPECT_TRUE(report.param_health[0].finite());
+  EXPECT_FALSE(report.param_health[1].finite());
+  EXPECT_EQ(report.params.count, 7);
+  EXPECT_EQ(report.params.nan_count, 1);
+  EXPECT_FALSE(report.all_finite());
+  EXPECT_TRUE(report.grad_health.empty());
+}
+
+TEST(CheckHealthTest, UnallocatedGradsAreHealthy) {
+  Tensor a = Tensor::Zeros({4});
+  HealthReport report = CheckHealth({a}, /*with_grads=*/true);
+  EXPECT_TRUE(report.all_finite());
+  EXPECT_EQ(report.grads.count, 0);
+}
+
+TEST(CheckHealthTest, PoisonedGradDetected) {
+  Tensor a = Tensor::Zeros({4});
+  a.impl()->EnsureGrad();
+  a.grad()[2] = kNaN;
+  HealthReport report = CheckHealth({a}, /*with_grads=*/true);
+  EXPECT_TRUE(report.params.finite());
+  EXPECT_FALSE(report.grads.finite());
+  EXPECT_FALSE(report.all_finite());
+}
+
+TEST(CheckHealthTest, ToStringMentionsNonFinite) {
+  Tensor a = Tensor::Zeros({2});
+  a.data()[0] = kNaN;
+  HealthReport report = CheckHealth({a}, /*with_grads=*/false);
+  std::string text = report.ToString();
+  EXPECT_NE(text.find("nonfinite"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace omnimatch

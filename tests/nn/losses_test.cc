@@ -149,6 +149,58 @@ TEST(SupConTest, GradientDescentReducesLoss) {
   EXPECT_LT(final, initial);
 }
 
+// ---------- numerical-robustness properties ----------
+
+/// All gradient values of `t` are finite.
+bool GradAllFinite(const Tensor& t) {
+  for (float g : t.grad()) {
+    if (!std::isfinite(g)) return false;
+  }
+  return true;
+}
+
+TEST(CrossEntropyTest, FiniteUnderExtremeLogits) {
+  // Property: logits anywhere in [-1e4, 1e4] must give a finite loss and
+  // finite gradients (the max-shifted softmax overflows without the shift).
+  Rng rng(40);
+  for (int trial = 0; trial < 20; ++trial) {
+    Tensor logits = Tensor::Zeros({4, 5}, true);
+    std::vector<int> labels;
+    for (float& v : logits.data()) v = rng.UniformFloat(-1e4f, 1e4f);
+    for (int b = 0; b < 4; ++b) {
+      labels.push_back(static_cast<int>(rng.UniformU32(5)));
+    }
+    Tensor loss = SoftmaxCrossEntropy(logits, labels);
+    ASSERT_TRUE(std::isfinite(loss.ScalarValue())) << "trial " << trial;
+    loss.Backward();
+    EXPECT_TRUE(GradAllFinite(logits)) << "trial " << trial;
+  }
+}
+
+TEST(SupConTest, FiniteUnderExtremeFeatures) {
+  // Property: huge feature magnitudes are tamed by the internal L2
+  // normalization; forward and backward must stay finite.
+  Rng rng(41);
+  for (int trial = 0; trial < 20; ++trial) {
+    Tensor feats = Tensor::Zeros({6, 4}, true);
+    for (float& v : feats.data()) v = rng.UniformFloat(-1e4f, 1e4f);
+    std::vector<int> labels = {0, 1, 0, 1, 2, 2};
+    Tensor loss = SupConLoss(feats, labels, 0.07f);
+    ASSERT_TRUE(std::isfinite(loss.ScalarValue())) << "trial " << trial;
+    loss.Backward();
+    EXPECT_TRUE(GradAllFinite(feats)) << "trial " << trial;
+  }
+}
+
+TEST(SupConTest, SingleFeatureBatchIsConstantZero) {
+  // batch < 2 cannot form a positive pair; the loss must short-circuit to a
+  // constant zero instead of computing log-sum-exp over an empty set.
+  Tensor one = Tensor::FromData({1, 3}, {1, 2, 3}, true);
+  Tensor loss = SupConLoss(one, {0}, 0.07f);
+  EXPECT_FLOAT_EQ(loss.ScalarValue(), 0.0f);
+  EXPECT_FALSE(loss.requires_grad());
+}
+
 TEST(SupConTest, TemperatureSharpensLoss) {
   Rng rng(39);
   Tensor feats = RandomTensor({6, 4}, &rng, false);

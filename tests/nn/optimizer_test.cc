@@ -1,6 +1,7 @@
 #include "nn/optimizer.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -98,7 +99,10 @@ TEST(OptimizerTest, ClipGradNormScalesDown) {
   x.grad()[0] = 3.0f;
   x.grad()[1] = 4.0f;  // norm 5
   Sgd opt({x}, 0.1f);
-  opt.ClipGradNorm(1.0f);
+  GradClipResult result = opt.ClipGradNorm(1.0f);
+  EXPECT_TRUE(result.finite);
+  EXPECT_TRUE(result.clipped);
+  EXPECT_NEAR(result.norm, 5.0, 1e-4);
   float norm = std::sqrt(x.grad()[0] * x.grad()[0] +
                          x.grad()[1] * x.grad()[1]);
   EXPECT_NEAR(norm, 1.0f, 1e-4);
@@ -109,9 +113,68 @@ TEST(OptimizerTest, ClipGradNormNoOpBelowThreshold) {
   x.grad()[0] = 0.3f;
   x.grad()[1] = 0.4f;  // norm 0.5
   Sgd opt({x}, 0.1f);
-  opt.ClipGradNorm(1.0f);
+  GradClipResult result = opt.ClipGradNorm(1.0f);
+  EXPECT_TRUE(result.finite);
+  EXPECT_FALSE(result.clipped);
+  EXPECT_NEAR(result.norm, 0.5, 1e-6);
   EXPECT_FLOAT_EQ(x.grad()[0], 0.3f);
   EXPECT_FLOAT_EQ(x.grad()[1], 0.4f);
+}
+
+TEST(OptimizerTest, ClipGradNormNoOpOnZeroGradients) {
+  // Property: an all-zero gradient has norm 0 < max_norm, and the clip must
+  // leave it untouched (the old code risked a 0/0 scale).
+  Tensor x = Tensor::FromData({3}, {1, 2, 3}, true);
+  x.ZeroGrad();
+  Sgd opt({x}, 0.1f);
+  GradClipResult result = opt.ClipGradNorm(1.0f);
+  EXPECT_TRUE(result.finite);
+  EXPECT_FALSE(result.clipped);
+  EXPECT_EQ(result.norm, 0.0);
+  for (float g : x.grad()) EXPECT_EQ(g, 0.0f);
+}
+
+TEST(OptimizerTest, ClipGradNormDetectsNanWithoutPoisoning) {
+  // A single NaN gradient value. The hardened clip must (a) report it and
+  // (b) NOT multiply the other gradients by a NaN scale — the bug this
+  // hardening fixes poisoned EVERY parameter in one step.
+  Tensor x = Tensor::FromData({2}, {0, 0}, true);
+  Tensor y = Tensor::FromData({2}, {0, 0}, true);
+  x.grad()[0] = std::numeric_limits<float>::quiet_NaN();
+  x.grad()[1] = 1.0f;
+  y.grad()[0] = 30.0f;  // over max_norm: WOULD be scaled if healthy
+  y.grad()[1] = 40.0f;
+  Sgd opt({x, y}, 0.1f);
+  GradClipResult result = opt.ClipGradNorm(1.0f);
+  EXPECT_FALSE(result.finite);
+  EXPECT_FALSE(result.clipped);
+  // Healthy tensors keep their raw gradients: no NaN spread, no rescale.
+  EXPECT_FLOAT_EQ(y.grad()[0], 30.0f);
+  EXPECT_FLOAT_EQ(y.grad()[1], 40.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 1.0f);
+}
+
+TEST(OptimizerTest, ClipGradNormDetectsInfNorm) {
+  Tensor x = Tensor::FromData({1}, {0}, true);
+  x.grad()[0] = std::numeric_limits<float>::infinity();
+  Sgd opt({x}, 0.1f);
+  GradClipResult result = opt.ClipGradNorm(1.0f);
+  EXPECT_FALSE(result.finite);
+}
+
+TEST(OptimizerTest, LearningRateAccessors) {
+  Tensor x = Tensor::FromData({1}, {0}, true);
+  Sgd sgd({x}, 0.1f);
+  Adam adam({x}, 0.01f);
+  Adadelta adadelta({x}, 1.0f);
+  EXPECT_FLOAT_EQ(sgd.lr(), 0.1f);
+  EXPECT_FLOAT_EQ(adam.lr(), 0.01f);
+  EXPECT_FLOAT_EQ(adadelta.lr(), 1.0f);
+  // set_lr is how the guard backs off after a divergence; it must act
+  // through the Optimizer interface.
+  Optimizer* opt = &adadelta;
+  opt->set_lr(0.5f);
+  EXPECT_FLOAT_EQ(opt->lr(), 0.5f);
 }
 
 TEST(TrainingIntegrationTest, LinearRegressionConverges) {
