@@ -6,6 +6,7 @@
 // machine-readable BENCH_nn_ops.json.
 //
 //   ./bench_report [--out=BENCH_nn_ops.json] [--reps=5] [--max-threads=4]
+//                  [--metrics_out=BENCH_metrics.jsonl]
 
 #include <algorithm>
 #include <cmath>
@@ -26,6 +27,7 @@
 #include "nn/layers.h"
 #include "nn/losses.h"
 #include "nn/ops.h"
+#include "obs/metrics.h"
 
 using namespace omnimatch;
 using bench::KernelSample;
@@ -288,6 +290,37 @@ int main(int argc, char** argv) {
     }
     std::printf("guard overhead: %.2f%% per training step\n",
                 (guard_ns[1] / guard_ns[0] - 1.0) * 100.0);
+
+    // --- Observability overhead: identical training runs with the metrics
+    // clock reads off vs on, interleaved like the guard pair so drift hits
+    // both variants equally. The acceptance budget is <2% of step time with
+    // no sink attached; the metrics_on number bounds the cost of attaching
+    // one.
+    config.guard_enabled = true;
+    double metrics_ns[2] = {1e300, 1e300};
+    for (int rep = 0; rep < g_reps; ++rep) {
+      for (int on = 0; on <= 1; ++on) {
+        obs::EnableMetrics(on == 1);
+        core::OmniMatchTrainer trainer(config, &cross, split);
+        if (!trainer.Prepare().ok()) {
+          std::fprintf(stderr, "TrainerStep: Prepare failed\n");
+          return 1;
+        }
+        core::TrainStats stats = trainer.Train();
+        if (stats.steps > 0) {
+          metrics_ns[on] = std::min(
+              metrics_ns[on], stats.train_seconds / stats.steps * 1e9);
+        }
+      }
+    }
+    obs::EnableMetrics(false);
+    for (int on = 0; on <= 1; ++on) {
+      samples.push_back({"TrainerStep",
+                         on == 1 ? "metrics_on" : "metrics_off",
+                         GetNumThreads(), metrics_ns[on], 0.0});
+    }
+    std::printf("metrics overhead: %.2f%% per training step\n",
+                (metrics_ns[1] / metrics_ns[0] - 1.0) * 100.0);
   }
 
   SetNumThreads(1);
@@ -305,6 +338,17 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("wrote %s (%zu records)\n", out_path.c_str(), samples.size());
+
+  // Snapshot of everything the always-on counters and the metrics_on
+  // training runs accumulated (GEMM calls/flops, pool jobs/chunks, trainer
+  // phase histograms) — the machine-readable companion to the table above.
+  std::string metrics_path =
+      flags.GetString("metrics_out", "BENCH_metrics.jsonl");
+  if (!obs::MetricsRegistry::Global().WriteJsonLines(metrics_path)) {
+    std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+    return 1;
+  }
+  std::printf("wrote metrics snapshot %s\n", metrics_path.c_str());
   if (!g_determinism_ok) {
     std::fprintf(stderr, "determinism check FAILED\n");
     return 1;

@@ -15,6 +15,11 @@
 // Rehearse a failure with deterministic fault injection, e.g.
 //   --faults="grad@5" (NaN gradient at step 5) or
 //   --faults="loss@8:mag=20" (20x loss spike at step 8).
+//
+// Observability: --metrics_out=metrics.jsonl writes a JSONL snapshot of the
+// phase histograms / pool counters when training finishes;
+// --trace_out=trace.json writes a Chrome trace_event file — open it in
+// chrome://tracing or https://ui.perfetto.dev to see the per-step timeline.
 
 #include <cstdio>
 
@@ -84,6 +89,8 @@ int main(int argc, char** argv) {
                                        config.max_recoveries);
   config.lr_backoff = static_cast<float>(
       flags.GetDouble("lr_backoff", config.lr_backoff));
+  config.metrics_out = flags.GetString("metrics_out", "");
+  config.trace_out = flags.GetString("trace_out", "");
   core::OmniMatchTrainer trainer(config, &cross, split);
   Status status = trainer.Prepare();
   if (!status.ok()) {
@@ -117,6 +124,14 @@ int main(int argc, char** argv) {
   std::printf("Trained %d steps in %.1f s (final loss %.4f)\n", stats.steps,
               stats.train_seconds,
               stats.total_loss.empty() ? 0.0 : stats.total_loss.back());
+  if (!config.metrics_out.empty()) {
+    std::printf("Metrics snapshot written to %s\n",
+                config.metrics_out.c_str());
+  }
+  if (!config.trace_out.empty()) {
+    std::printf("Chrome trace written to %s (open in chrome://tracing)\n",
+                config.trace_out.c_str());
+  }
   for (const core::RecoveryEvent& e : stats.recovery_events) {
     std::printf("Guard recovery at step %lld: %s (observed %.4g), "
                 "lr %.4g -> %.4g\n",

@@ -22,8 +22,9 @@ run_release() {
 
 # Sanitizer configs only build the test tree (benchmarks and examples add
 # nothing to coverage and double the build time). TSan exercises the thread
-# pool, the blocked GEMM, and every parallel op through common_test/nn_test;
-# ASan and UBSan additionally run the trainer-level suites — including the
+# pool, the blocked GEMM, every parallel op, and the sharded metrics /
+# trace-ring concurrency tests through common_test/nn_test/obs_test; ASan
+# and UBSan additionally run the trainer-level suites — including the
 # fault-injection tests, so every guard rollback/retry path is walked under
 # instrumentation.
 run_sanitizer() {
@@ -42,14 +43,14 @@ run_sanitizer() {
 
 case "${MODE}" in
   release) run_release ;;
-  tsan)    run_sanitizer thread common_test nn_test ;;
-  asan)    run_sanitizer address common_test nn_test core_test ;;
-  ubsan)   run_sanitizer undefined common_test nn_test core_test ;;
+  tsan)    run_sanitizer thread common_test nn_test obs_test ;;
+  asan)    run_sanitizer address common_test nn_test core_test obs_test ;;
+  ubsan)   run_sanitizer undefined common_test nn_test core_test obs_test ;;
   all)
     run_release
-    run_sanitizer thread common_test nn_test
-    run_sanitizer address common_test nn_test core_test
-    run_sanitizer undefined common_test nn_test core_test
+    run_sanitizer thread common_test nn_test obs_test
+    run_sanitizer address common_test nn_test core_test obs_test
+    run_sanitizer undefined common_test nn_test core_test obs_test
     ;;
   *) echo "usage: $0 [all|release|tsan|asan|ubsan]" >&2 ; exit 2 ;;
 esac

@@ -1,5 +1,6 @@
 #include "common/flags.h"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/fault.h"
@@ -7,6 +8,23 @@
 #include "common/threadpool.h"
 
 namespace omnimatch {
+
+namespace {
+
+/// Malformed numeric flags are fatal: every binary taking flags is a
+/// command-line tool, and silently running with atoi's 0 (the old
+/// behaviour) is how "--threads=abc" trains on a zero-sized pool. Exit
+/// rather than abort: this is an input error, not a programmer error.
+[[noreturn]] void FatalFlagError(const std::string& name,
+                                 const std::string& value,
+                                 const char* expected) {
+  std::fprintf(stderr,
+               "omnimatch: invalid value \"%s\" for flag --%s: expected %s\n",
+               value.c_str(), name.c_str(), expected);
+  std::exit(2);
+}
+
+}  // namespace
 
 Status FlagParser::Parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -43,13 +61,23 @@ std::string FlagParser::GetString(const std::string& name,
 
 int FlagParser::GetInt(const std::string& name, int default_value) const {
   auto it = values_.find(name);
-  return it == values_.end() ? default_value : std::atoi(it->second.c_str());
+  if (it == values_.end()) return default_value;
+  int value = 0;
+  if (!ParseInt32(it->second, &value)) {
+    FatalFlagError(name, it->second, "an in-range decimal integer");
+  }
+  return value;
 }
 
 double FlagParser::GetDouble(const std::string& name,
                              double default_value) const {
   auto it = values_.find(name);
-  return it == values_.end() ? default_value : std::atof(it->second.c_str());
+  if (it == values_.end()) return default_value;
+  double value = 0.0;
+  if (!ParseDouble(it->second, &value)) {
+    FatalFlagError(name, it->second, "a decimal number");
+  }
+  return value;
 }
 
 bool FlagParser::GetBool(const std::string& name, bool default_value) const {

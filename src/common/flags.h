@@ -22,6 +22,10 @@ class FlagParser {
 
   std::string GetString(const std::string& name,
                         const std::string& default_value) const;
+  /// Numeric getters parse strictly (ParseInt32/ParseDouble: the whole
+  /// value must be a valid in-range number). A malformed value prints an
+  /// error naming the flag and exits with status 2 — never the silent 0
+  /// that atoi used to produce for "--threads=abc".
   int GetInt(const std::string& name, int default_value) const;
   double GetDouble(const std::string& name, double default_value) const;
   bool GetBool(const std::string& name, bool default_value) const;

@@ -17,6 +17,14 @@ namespace internal {
 /// Emits a finished log line to stderr. Thread-safe (single write call).
 void EmitLog(LogLevel level, const std::string& message);
 
+/// True when a message at `level` would actually be emitted. OM_LOG checks
+/// this BEFORE constructing the LogMessage, so suppressed messages never
+/// build an ostringstream and never evaluate their streamed operands —
+/// OM_LOG(Debug) in a training loop costs one relaxed atomic load.
+inline bool LogLevelEnabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(GetLogLevel());
+}
+
 class LogMessage {
  public:
   explicit LogMessage(LogLevel level) : level_(level) {}
@@ -33,11 +41,25 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+/// Turns the ternary's LogMessage branch into void so both arms agree.
+/// operator& binds looser than operator<<, so the whole stream chain runs
+/// first (glog's trick).
+struct LogMessageVoidify {
+  void operator&(const LogMessage&) {}
+};
+
 }  // namespace internal
 }  // namespace omnimatch
 
 /// Streaming log macros: OM_LOG(INFO) << "epoch " << e;
-#define OM_LOG(severity) \
-  ::omnimatch::internal::LogMessage(::omnimatch::LogLevel::k##severity)
+/// Expands to a ternary so that suppressed severities skip both the
+/// LogMessage construction and the evaluation of every streamed operand.
+#define OM_LOG(severity)                                                     \
+  !::omnimatch::internal::LogLevelEnabled(                                   \
+      ::omnimatch::LogLevel::k##severity)                                    \
+      ? (void)0                                                              \
+      : ::omnimatch::internal::LogMessageVoidify() &                         \
+            ::omnimatch::internal::LogMessage(                               \
+                ::omnimatch::LogLevel::k##severity)
 
 #endif  // OMNIMATCH_COMMON_LOGGING_H_

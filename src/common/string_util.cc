@@ -27,6 +27,10 @@ bool ParseFloat(std::string_view text, float* out) {
   return ParseWhole(text, out);
 }
 
+bool ParseDouble(std::string_view text, double* out) {
+  return ParseWhole(text, out);
+}
+
 std::vector<std::string> Split(std::string_view text, char delim) {
   std::vector<std::string> out;
   size_t start = 0;

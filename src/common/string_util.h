@@ -41,6 +41,10 @@ bool ParseInt32(std::string_view text, int* out);
 /// garbage, empty input, hex, and values outside float range.
 bool ParseFloat(std::string_view text, float* out);
 
+/// ParseFloat at double precision (command-line flags and config values
+/// that are stored as double keep their full precision).
+bool ParseDouble(std::string_view text, double* out);
+
 }  // namespace omnimatch
 
 #endif  // OMNIMATCH_COMMON_STRING_UTIL_H_

@@ -1,10 +1,55 @@
 #include "common/threadpool.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
 
 namespace omnimatch {
 
 namespace {
+
+// Pool instrumentation. Counters are plain relaxed increments and always
+// live; the busy-time clock reads only happen while obs::MetricsEnabled().
+obs::Counter* PoolJobs() {
+  static obs::Counter* const c =
+      obs::MetricsRegistry::Global().GetCounter("threadpool.jobs");
+  return c;
+}
+obs::Counter* PoolInlineRuns() {
+  static obs::Counter* const c =
+      obs::MetricsRegistry::Global().GetCounter("threadpool.inline_runs");
+  return c;
+}
+obs::Counter* PoolChunks() {
+  static obs::Counter* const c =
+      obs::MetricsRegistry::Global().GetCounter("threadpool.chunks");
+  return c;
+}
+obs::Counter* PoolBusyNs() {
+  static obs::Counter* const c =
+      obs::MetricsRegistry::Global().GetCounter("threadpool.worker_busy_ns");
+  return c;
+}
+obs::Gauge* PoolThreadsGauge() {
+  static obs::Gauge* const g =
+      obs::MetricsRegistry::Global().GetGauge("threadpool.threads");
+  return g;
+}
+// Chunk backlog per submitted job — the pool's "queue depth" (one flat job
+// at a time; depth is how many chunks wait to be claimed).
+obs::Histogram* PoolJobChunks() {
+  static obs::Histogram* const h =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "threadpool.job_chunks", {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  return h;
+}
+
+int64_t PoolNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 // True while the current thread is executing a pool chunk; nested
 // ParallelFor calls from kernels (e.g. a GEMM inside the batched text conv)
@@ -37,6 +82,7 @@ ThreadPool::~ThreadPool() { StopWorkers(); }
 void ThreadPool::Resize(int num_threads) {
   std::lock_guard<std::mutex> submit_lock(submit_mutex_);
   int resolved = ResolveThreads(num_threads);
+  PoolThreadsGauge()->Set(resolved);
   if (resolved == num_threads_) return;
   StopWorkers();
   num_threads_ = resolved;
@@ -86,15 +132,23 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::RunChunks(Job* job) {
+  const bool timed = obs::MetricsEnabled();
+  const int64_t t0 = timed ? PoolNowNs() : 0;
+  int64_t executed = 0;
   while (true) {
     int64_t b = job->next.fetch_add(job->chunk, std::memory_order_relaxed);
     if (b >= job->end) break;
     int64_t e = std::min(job->end, b + job->chunk);
     (*job->fn)(b, e);
+    ++executed;
     if (job->chunks_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lock(job_mutex_);
       done_cv_.notify_all();
     }
+  }
+  if (executed > 0) {
+    PoolChunks()->Add(executed);
+    if (timed) PoolBusyNs()->Add(PoolNowNs() - t0);
   }
 }
 
@@ -104,12 +158,14 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   if (range <= 0) return;
   if (grain < 1) grain = 1;
   if (num_threads_ <= 1 || range <= grain || t_inside_worker) {
+    PoolInlineRuns()->Increment();
     fn(begin, end);
     return;
   }
 
   std::lock_guard<std::mutex> submit_lock(submit_mutex_);
   if (!started_) StartWorkers();
+  PoolJobs()->Increment();
 
   int64_t target_chunks =
       std::min<int64_t>((range + grain - 1) / grain,
@@ -122,9 +178,12 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   job->fn = &fn;
   job->end = end;
   job->chunk = chunk;
+  int64_t num_chunks = (range + chunk - 1) / chunk;
   job->next.store(begin, std::memory_order_relaxed);
-  job->chunks_left.store((range + chunk - 1) / chunk,
-                         std::memory_order_relaxed);
+  job->chunks_left.store(num_chunks, std::memory_order_relaxed);
+  if (obs::MetricsEnabled()) {
+    PoolJobChunks()->Observe(static_cast<double>(num_chunks));
+  }
   {
     std::lock_guard<std::mutex> lock(job_mutex_);
     current_job_ = job;

@@ -136,6 +136,16 @@ struct OmniMatchConfig {
   /// (non-empty) when checkpoint_every > 0.
   std::string checkpoint_dir;
 
+  // --- observability (see DESIGN.md "Observability") ---
+  /// When non-empty, Prepare() enables metrics collection and Train()
+  /// writes a JSONL metrics snapshot (counters, gauges, phase histograms)
+  /// to this path when it finishes.
+  std::string metrics_out;
+  /// When non-empty, Prepare() enables span tracing and Train() writes a
+  /// Chrome trace_event JSON (open in chrome://tracing or Perfetto) to this
+  /// path when it finishes.
+  std::string trace_out;
+
   // --- self-healing guard (see DESIGN.md "Failure model & recovery") ---
   /// Check loss / gradient / parameter health every training step and, on a
   /// fault, roll back to the in-memory snapshot of the last good step, back
@@ -164,9 +174,11 @@ struct OmniMatchConfig {
   /// be resumed under a config that would silently diverge. Deliberately
   /// EXCLUDED: `epochs` (resuming with a longer schedule is legitimate),
   /// `verbose`, `num_threads` (results are thread-count invariant), the
-  /// checkpoint fields themselves, and the guard fields (a fault-free
+  /// checkpoint fields themselves, the guard fields (a fault-free
   /// guarded run is bit-identical to an unguarded one, and after a fault
-  /// the backed-off learning rate travels inside the checkpoint).
+  /// the backed-off learning rate travels inside the checkpoint), and the
+  /// observability sinks metrics_out / trace_out (instrumentation never
+  /// touches an RNG stream, so traced runs are bit-identical too).
   uint64_t Fingerprint() const;
 };
 

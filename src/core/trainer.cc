@@ -17,6 +17,8 @@
 #include "nn/health.h"
 #include "nn/losses.h"
 #include "nn/ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/document.h"
 #include "text/tokenizer.h"
 
@@ -25,6 +27,16 @@ namespace core {
 
 using data::DomainSide;
 using nn::Tensor;
+
+namespace {
+/// Per-phase duration histograms (ns). Looked up once; Observe() only fires
+/// while obs::MetricsEnabled(), and the paired trace span only records
+/// while tracing is on, so the steady-state cost of an instrumented phase
+/// is one relaxed atomic load.
+obs::Histogram* PhaseHist(const char* name) {
+  return obs::MetricsRegistry::Global().GetHistogram(name);
+}
+}  // namespace
 
 OmniMatchTrainer::OmniMatchTrainer(const OmniMatchConfig& config,
                                    const data::CrossDomainDataset* cross,
@@ -44,13 +56,23 @@ const std::string& OmniMatchTrainer::TextOf(const data::Review& review) const {
 Status OmniMatchTrainer::Prepare() {
   OM_RETURN_IF_ERROR(config_.Validate());
   SetNumThreads(config_.num_threads);
+  // Attach the observability sinks before any instrumented work runs.
+  if (!config_.trace_out.empty()) obs::EnableTracing(true);
+  if (!config_.metrics_out.empty()) obs::EnableMetrics(true);
+  OM_TRACE_SPAN("prepare");
   if (split_.train_users.empty()) {
     return Status::FailedPrecondition("split has no training users");
   }
   aux_generator_ = std::make_unique<AuxReviewGenerator>(
       cross_, split_.train_users, config_.text_field);
-  BuildVocabulary();
-  BuildDocuments();
+  {
+    OM_TRACE_SPAN("build_vocabulary");
+    BuildVocabulary();
+  }
+  {
+    OM_TRACE_SPAN("build_documents");
+    BuildDocuments();
+  }
   if (train_samples_.empty()) {
     return Status::FailedPrecondition(
         "training users have no target-domain records");
@@ -151,9 +173,15 @@ void OmniMatchTrainer::BuildDocuments() {
     user_target_docs_[u] =
         text::BuildDocumentIds(texts, vocab_, config_.doc_len);
     user_target_reviews_[u] = encode_each(texts);
-    if (config_.aux_augmentation_prob > 0.0f) {
-      // Cold-start self-simulation: the generator already excludes the user
-      // themselves from the like-minded pool.
+  }
+  if (config_.aux_augmentation_prob > 0.0f) {
+    // Cold-start self-simulation: the generator already excludes the user
+    // themselves from the like-minded pool. A separate loop (rather than
+    // inline above) so the Algorithm 1 cost traces as its own "auxgen"
+    // span; the rng_ draw order is identical either way because the doc
+    // building above consumes no randomness.
+    OM_TRACE_SPAN_TIMED("auxgen", PhaseHist("trainer.auxgen_ns"));
+    for (int u : split_.train_users) {
       train_aux_reviews_[u] =
           encode_each(aux_generator_->GenerateForUser(u, &rng_));
     }
@@ -163,18 +191,22 @@ void OmniMatchTrainer::BuildDocuments() {
   cold_users.insert(cold_users.end(), split_.test_users.begin(),
                     split_.test_users.end());
   int samples = std::max(1, config_.aux_eval_samples);
-  for (int u : cold_users) {
-    for (int k = 0; k < (config_.use_aux_reviews ? samples : 1); ++k) {
-      std::vector<std::string> reviews =
-          config_.use_aux_reviews ? aux_generator_->GenerateForUser(u, &rng_)
-                                  : reviews_of(cross_->source(), u);
-      if (reviews.empty()) reviews = reviews_of(cross_->source(), u);
-      std::vector<int> doc =
-          text::BuildDocumentIds(reviews, vocab_, config_.doc_len);
-      if (k == 0) {
-        user_target_docs_[u] = std::move(doc);
-      } else {
-        cold_aux_doc_variants_[u].push_back(std::move(doc));
+  {
+    OM_TRACE_SPAN_TIMED("auxgen", PhaseHist("trainer.auxgen_ns"));
+    for (int u : cold_users) {
+      for (int k = 0; k < (config_.use_aux_reviews ? samples : 1); ++k) {
+        std::vector<std::string> reviews =
+            config_.use_aux_reviews
+                ? aux_generator_->GenerateForUser(u, &rng_)
+                : reviews_of(cross_->source(), u);
+        if (reviews.empty()) reviews = reviews_of(cross_->source(), u);
+        std::vector<int> doc =
+            text::BuildDocumentIds(reviews, vocab_, config_.doc_len);
+        if (k == 0) {
+          user_target_docs_[u] = std::move(doc);
+        } else {
+          cold_aux_doc_variants_[u].push_back(std::move(doc));
+        }
       }
     }
   }
@@ -360,68 +392,92 @@ OmniMatchTrainer::StepOutcome OmniMatchTrainer::TrainBatch(
   model_->set_training(true);
   optimizer_->ZeroGrad();
 
+  // Per-batch document assembly (shuffle / word dropout / aux substitution)
+  // is hoisted out of the extractor calls so it traces as its own phase.
+  // The rng_ draw order is unchanged: source gather, target gather, item
+  // gather — exactly the order the inline arguments evaluated in.
+  std::vector<int> src_doc_ids, tgt_doc_ids, item_doc_ids;
+  {
+    OM_TRACE_SPAN_TIMED("doc_assembly", PhaseHist("trainer.doc_assembly_ns"));
+    src_doc_ids = GatherTrainingDocs(user_source_reviews_, user_source_docs_,
+                                     users, config_.doc_len);
+    tgt_doc_ids = GatherTargetTrainingDocs(users);
+    item_doc_ids = GatherTrainingDocs(item_reviews_, item_docs_, items,
+                                      config_.item_doc_len);
+  }
+
   // --- Feature Extraction Module (Fig. 2 B) ---
-  auto src = model_->ExtractUser(
-      DomainSide::kSource,
-      GatherTrainingDocs(user_source_reviews_, user_source_docs_, users,
-                         config_.doc_len),
-      b);
-  auto tgt = model_->ExtractUser(DomainSide::kTarget,
-                                 GatherTargetTrainingDocs(users), b);
-  Tensor item_rep = model_->ExtractItem(
-      GatherTrainingDocs(item_reviews_, item_docs_, items,
-                         config_.item_doc_len),
-      b);
+  OmniMatchModel::UserFeatures src, tgt;
+  Tensor item_rep;
+  Tensor r_source, r_target, rating_logits;
+  {
+    OM_TRACE_SPAN_TIMED("forward", PhaseHist("trainer.forward_ns"));
+    src = model_->ExtractUser(DomainSide::kSource, src_doc_ids, b);
+    tgt = model_->ExtractUser(DomainSide::kTarget, tgt_doc_ids, b);
+    item_rep = model_->ExtractItem(item_doc_ids, b);
 
-  Tensor r_source = OmniMatchModel::UserRepresentation(src);
-  Tensor r_target = OmniMatchModel::UserRepresentation(tgt);
+    r_source = OmniMatchModel::UserRepresentation(src);
+    r_target = OmniMatchModel::UserRepresentation(tgt);
 
-  // --- Rating classifier (Eq. 18-19) ---
-  Tensor rating_logits = model_->RatingLogits(r_target, item_rep);
-  Tensor loss = nn::SoftmaxCrossEntropy(rating_logits, labels);
-  if (config_.use_hybrid_inference) {
-    // Train the classifier on the hybrid representation used for cold-start
-    // inference: the user's source-domain invariant features (aligned by
-    // DA + SCL) concatenated with the target-side specific features.
-    Tensor hybrid = nn::ConcatCols({src.invariant, tgt.specific});
-    Tensor hybrid_loss = nn::SoftmaxCrossEntropy(
-        model_->RatingLogits(hybrid, item_rep), labels);
-    loss = nn::Scale(nn::Add(loss, hybrid_loss), 0.5f);
+    // Rating classifier (Eq. 18-19).
+    rating_logits = model_->RatingLogits(r_target, item_rep);
   }
-  double rating_loss = loss.ScalarValue();
 
-  // --- Contrastive Representation Learning Module (Fig. 2 D, Eq. 11-13):
-  // project source and target user-item pairs; positives share a rating.
+  Tensor loss;
+  double rating_loss = 0.0;
   double scl_loss = 0.0;
-  if (config_.use_scl && config_.alpha > 0.0f) {
-    Tensor x_src = model_->Project(r_source, item_rep);
-    Tensor x_tgt = model_->Project(r_target, item_rep);
-    Tensor features = nn::ConcatRows({x_src, x_tgt});
-    std::vector<int> scl_labels = labels;
-    scl_labels.insert(scl_labels.end(), labels.begin(), labels.end());
-    Tensor scl = nn::SupConLoss(features, scl_labels, config_.temperature);
-    scl_loss = scl.ScalarValue();
-    loss = nn::Add(loss, nn::Scale(scl, config_.alpha));
-  }
-
-  // --- Domain Adversarial Training Module (Fig. 2 C, Eq. 14-17, 20):
-  // invariant features behind the GRL, specific features trained normally.
   double domain_loss = 0.0;
-  if (config_.use_domain_adversarial && config_.beta > 0.0f) {
-    std::vector<int> domain_labels(static_cast<size_t>(2 * b), 0);
-    for (int i = b; i < 2 * b; ++i) domain_labels[static_cast<size_t>(i)] = 1;
-    Tensor inv = nn::ConcatRows({src.invariant, tgt.invariant});
-    Tensor spec = nn::ConcatRows({src.specific, tgt.specific});
-    Tensor inv_loss = nn::SoftmaxCrossEntropy(
-        model_->DomainLogitsInvariant(inv), domain_labels);
-    Tensor spec_loss = nn::SoftmaxCrossEntropy(
-        model_->DomainLogitsSpecific(spec), domain_labels);
-    Tensor domain = nn::Add(inv_loss, spec_loss);  // Eq. 20
-    domain_loss = domain.ScalarValue();
-    loss = nn::Add(loss, nn::Scale(domain, config_.beta));  // Eq. 21
+  {
+    OM_TRACE_SPAN_TIMED("losses", PhaseHist("trainer.losses_ns"));
+    loss = nn::SoftmaxCrossEntropy(rating_logits, labels);
+    if (config_.use_hybrid_inference) {
+      // Train the classifier on the hybrid representation used for
+      // cold-start inference: the user's source-domain invariant features
+      // (aligned by DA + SCL) concatenated with the target-side specific
+      // features.
+      Tensor hybrid = nn::ConcatCols({src.invariant, tgt.specific});
+      Tensor hybrid_loss = nn::SoftmaxCrossEntropy(
+          model_->RatingLogits(hybrid, item_rep), labels);
+      loss = nn::Scale(nn::Add(loss, hybrid_loss), 0.5f);
+    }
+    rating_loss = loss.ScalarValue();
+
+    // --- Contrastive Representation Learning Module (Fig. 2 D, Eq. 11-13):
+    // project source and target user-item pairs; positives share a rating.
+    if (config_.use_scl && config_.alpha > 0.0f) {
+      Tensor x_src = model_->Project(r_source, item_rep);
+      Tensor x_tgt = model_->Project(r_target, item_rep);
+      Tensor features = nn::ConcatRows({x_src, x_tgt});
+      std::vector<int> scl_labels = labels;
+      scl_labels.insert(scl_labels.end(), labels.begin(), labels.end());
+      Tensor scl = nn::SupConLoss(features, scl_labels, config_.temperature);
+      scl_loss = scl.ScalarValue();
+      loss = nn::Add(loss, nn::Scale(scl, config_.alpha));
+    }
+
+    // --- Domain Adversarial Training Module (Fig. 2 C, Eq. 14-17, 20):
+    // invariant features behind the GRL, specific features trained normally.
+    if (config_.use_domain_adversarial && config_.beta > 0.0f) {
+      std::vector<int> domain_labels(static_cast<size_t>(2 * b), 0);
+      for (int i = b; i < 2 * b; ++i) {
+        domain_labels[static_cast<size_t>(i)] = 1;
+      }
+      Tensor inv = nn::ConcatRows({src.invariant, tgt.invariant});
+      Tensor spec = nn::ConcatRows({src.specific, tgt.specific});
+      Tensor inv_loss = nn::SoftmaxCrossEntropy(
+          model_->DomainLogitsInvariant(inv), domain_labels);
+      Tensor spec_loss = nn::SoftmaxCrossEntropy(
+          model_->DomainLogitsSpecific(spec), domain_labels);
+      Tensor domain = nn::Add(inv_loss, spec_loss);  // Eq. 20
+      domain_loss = domain.ScalarValue();
+      loss = nn::Add(loss, nn::Scale(domain, config_.beta));  // Eq. 21
+    }
   }
 
-  loss.Backward();
+  {
+    OM_TRACE_SPAN_TIMED("backward", PhaseHist("trainer.backward_ns"));
+    loss.Backward();
+  }
 
   // Fault point "grad": flip one gradient value after backward, before the
   // clip — exactly the poison a real overflow would plant.
@@ -431,8 +487,14 @@ OmniMatchTrainer::StepOutcome OmniMatchTrainer::TrainBatch(
     PoisonOneValue(model_->Parameters(), hit, /*poison_grad=*/true);
   }
 
-  nn::GradClipResult clip = optimizer_->ClipGradNorm(config_.grad_clip_norm);
+  nn::GradClipResult clip;
+  {
+    OM_TRACE_SPAN_TIMED("clip", PhaseHist("trainer.clip_ns"));
+    clip = optimizer_->ClipGradNorm(config_.grad_clip_norm);
+  }
   if (clip.finite) {
+    OM_TRACE_SPAN_TIMED("optimizer_step",
+                        PhaseHist("trainer.optimizer_step_ns"));
     optimizer_->Step();
   } else if (!config_.guard_enabled) {
     // No guard to roll back and retry: skipping the poisoned update is the
@@ -534,21 +596,31 @@ TrainStats OmniMatchTrainer::Train() {
         batch.push_back(train_samples_[static_cast<size_t>(
             sample_order_[i])]);
       }
+      OM_TRACE_SPAN_TIMED("step", PhaseHist("trainer.step_ns"));
       // Self-healing step: snapshot, attempt, and on a detected fault roll
       // back to the snapshot, back off the LR, and retry the SAME batch
       // (the restored RNG streams make the retry bit-deterministic). The
       // snapshot covers everything a batch mutates, so the loop's loss
       // accumulators — updated only after the guard accepts — need none.
-      if (guard_on) CaptureGuardSnapshot(&snap);
+      if (guard_on) {
+        OM_TRACE_SPAN_TIMED("guard_snapshot",
+                            PhaseHist("trainer.guard_snapshot_ns"));
+        CaptureGuardSnapshot(&snap);
+      }
       StepOutcome outcome;
       while (true) {
         outcome = TrainBatch(batch);
         if (!guard_on) break;
-        bool params_finite = nn::AllFinite(params);
+        bool params_finite = false;
         double threshold = 0.0;
-        FaultReason reason = guard_.Check(outcome.losses[0],
-                                          outcome.grads_finite,
-                                          params_finite, &threshold);
+        FaultReason reason;
+        {
+          OM_TRACE_SPAN_TIMED("guard_check",
+                              PhaseHist("trainer.guard_check_ns"));
+          params_finite = nn::AllFinite(params);
+          reason = guard_.Check(outcome.losses[0], outcome.grads_finite,
+                                params_finite, &threshold);
+        }
         if (reason == FaultReason::kNone) break;
         // Roll back before anything else: even when the budget is spent,
         // training must end on the last GOOD state, not the poisoned one.
@@ -618,6 +690,8 @@ TrainStats OmniMatchTrainer::Train() {
     epochs_completed_ = epoch + 1;
     if (config_.checkpoint_every > 0 &&
         epochs_completed_ % config_.checkpoint_every == 0) {
+      OM_TRACE_SPAN_TIMED("checkpoint_write",
+                          PhaseHist("trainer.checkpoint_write_ns"));
       Status saved = EnsureDirectory(config_.checkpoint_dir);
       if (saved.ok()) {
         saved = SaveCheckpoint(StrFormat(
@@ -635,6 +709,17 @@ TrainStats OmniMatchTrainer::Train() {
   TrainStats stats = progress_;
   if (track_validation && !best_params_.empty()) {
     RestoreParams(params, best_params_);
+  }
+  // Flush the observability sinks configured in OmniMatchConfig. Failures
+  // are warnings: a broken sink path must not kill a finished run.
+  if (!config_.trace_out.empty() &&
+      !obs::WriteChromeTrace(config_.trace_out)) {
+    OM_LOG(Warning) << "trace export to " << config_.trace_out << " failed";
+  }
+  if (!config_.metrics_out.empty() &&
+      !obs::MetricsRegistry::Global().WriteJsonLines(config_.metrics_out)) {
+    OM_LOG(Warning) << "metrics export to " << config_.metrics_out
+                    << " failed";
   }
   return stats;
 }
@@ -727,6 +812,7 @@ std::vector<float> OmniMatchTrainer::PredictBatch(
 
 eval::Metrics OmniMatchTrainer::Evaluate(const std::vector<int>& users) {
   OM_CHECK(prepared_) << "call Prepare() first";
+  OM_TRACE_SPAN_TIMED("evaluate", PhaseHist("trainer.evaluate_ns"));
   eval::MetricsAccumulator acc;
   std::vector<TrainSample> batch;
   std::vector<float> gold;

@@ -12,11 +12,31 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "core/trainer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace omnimatch {
 namespace eval {
 
 namespace {
+
+/// Stable per-method seed offset: FNV-1a of the method NAME, so editing the
+/// method list (reordering, inserting a baseline) never changes any other
+/// method's seed. The old `trial_seed + 17 + m` re-seeded every method to
+/// the right of an edit.
+uint64_t MethodSeedOffset(const std::string& name) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : name) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// Seconds-scale buckets for the per-method runner histograms.
+std::vector<double> SecondsBounds() {
+  return {0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0};
+}
 
 std::unique_ptr<baselines::Recommender> MakeBaseline(
     const std::string& name, uint64_t seed) {
@@ -66,8 +86,9 @@ ScenarioResult RunScenario(const data::SyntheticWorld& world,
   ScenarioResult result;
   result.scenario = cross.ScenarioName();
 
-  // Per-method training time, accumulated over trials.
-  std::vector<double> seconds(options.methods.size(), 0.0);
+  // Per-method training and evaluation time, accumulated over trials.
+  std::vector<double> train_seconds(options.methods.size(), 0.0);
+  std::vector<double> eval_seconds(options.methods.size(), 0.0);
 
   for (int trial = 0; trial < options.trials; ++trial) {
     uint64_t trial_seed = options.seed + static_cast<uint64_t>(trial) * 7919;
@@ -81,26 +102,50 @@ ScenarioResult RunScenario(const data::SyntheticWorld& world,
 
     for (size_t m = 0; m < options.methods.size(); ++m) {
       const std::string& name = options.methods[m];
+      // Training and evaluation are timed SEPARATELY: Table 6 reports
+      // training time, and the old single stopwatch silently folded the
+      // test-set evaluation into it.
       Stopwatch watch;
+      double trained_s = 0.0;
       Metrics metrics;
       if (name == "OmniMatch") {
         core::OmniMatchConfig config = options.omnimatch;
         config.seed = trial_seed + 13;
         core::OmniMatchTrainer trainer(config, &cross, split);
-        Status status = trainer.Prepare();
-        OM_CHECK(status.ok()) << status.ToString();
-        trainer.Train();
+        {
+          OM_TRACE_SPAN("runner.train");
+          Status status = trainer.Prepare();
+          OM_CHECK(status.ok()) << status.ToString();
+          trainer.Train();
+        }
+        trained_s = watch.ElapsedSeconds();
+        watch.Reset();
+        OM_TRACE_SPAN("runner.evaluate");
         metrics = trainer.Evaluate(split.test_users);
       } else {
         std::unique_ptr<baselines::Recommender> model =
-            MakeBaseline(name, trial_seed + 17 + m);
+            MakeBaseline(name, trial_seed + MethodSeedOffset(name));
         OM_CHECK(model != nullptr) << "unknown method " << name;
-        Status status = model->Fit(cross, split);
-        OM_CHECK(status.ok()) << name << ": " << status.ToString();
+        {
+          OM_TRACE_SPAN("runner.train");
+          Status status = model->Fit(cross, split);
+          OM_CHECK(status.ok()) << name << ": " << status.ToString();
+        }
+        trained_s = watch.ElapsedSeconds();
+        watch.Reset();
+        OM_TRACE_SPAN("runner.evaluate");
         metrics = baselines::EvaluateRecommender(*model, cross,
                                                  split.test_users);
       }
-      seconds[m] += watch.ElapsedSeconds();
+      double evaluated_s = watch.ElapsedSeconds();
+      train_seconds[m] += trained_s;
+      eval_seconds[m] += evaluated_s;
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      registry.GetHistogram("runner.train_seconds." + name, SecondsBounds())
+          ->Observe(trained_s);
+      registry.GetHistogram("runner.eval_seconds." + name, SecondsBounds())
+          ->Observe(evaluated_s);
+      registry.GetCounter("runner.method_runs")->Increment();
       MethodResult* slot = nullptr;
       for (auto& mr : result.methods) {
         if (mr.name == name) slot = &mr;
@@ -119,7 +164,9 @@ ScenarioResult RunScenario(const data::SyntheticWorld& world,
     result.methods[m].test.rmse /= options.trials;
     result.methods[m].test.mae /= options.trials;
     result.methods[m].train_seconds =
-        seconds[m] / static_cast<double>(options.trials);
+        train_seconds[m] / static_cast<double>(options.trials);
+    result.methods[m].eval_seconds =
+        eval_seconds[m] / static_cast<double>(options.trials);
   }
   return result;
 }

@@ -3,14 +3,33 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/threadpool.h"
+#include "obs/metrics.h"
 
 namespace omnimatch {
 namespace nn {
 
 namespace {
+
+// Kernel-dispatch instrumentation: one call counter per public variant plus
+// a shared FLOP counter. Two relaxed increments per GEMM — noise next to
+// the packing the kernel does anyway.
+obs::Counter* GemmCallCounter(const char* variant) {
+  return obs::MetricsRegistry::Global().GetCounter(
+      std::string("gemm.calls.") + variant);
+}
+obs::Counter* GemmFlops() {
+  static obs::Counter* const c =
+      obs::MetricsRegistry::Global().GetCounter("gemm.flops");
+  return c;
+}
+void CountGemm(obs::Counter* calls, int m_dim, int k_dim, int n_dim) {
+  calls->Increment();
+  GemmFlops()->Add(2LL * m_dim * k_dim * n_dim);
+}
 
 // Micro-tile: kMR x kNR accumulators live in registers across the K loop.
 // 8 rows x 32 columns = 16 zmm accumulators under AVX-512 (half the
@@ -176,24 +195,32 @@ void BlockedGemm(const float* a, int lda, bool trans_a, const float* b,
 
 void GemmNN(const float* a, const float* b, float* c, int m_dim, int k_dim,
             int n_dim) {
+  static obs::Counter* const calls = GemmCallCounter("nn");
+  CountGemm(calls, m_dim, k_dim, n_dim);
   BlockedGemm(a, k_dim, /*trans_a=*/false, b, n_dim, /*trans_b=*/false, c,
               m_dim, k_dim, n_dim);
 }
 
 void GemmNT(const float* a, const float* b, float* c, int m_dim, int k_dim,
             int n_dim) {
+  static obs::Counter* const calls = GemmCallCounter("nt");
+  CountGemm(calls, m_dim, k_dim, n_dim);
   BlockedGemm(a, k_dim, /*trans_a=*/false, b, k_dim, /*trans_b=*/true, c,
               m_dim, k_dim, n_dim);
 }
 
 void GemmNTStrided(const float* a, int lda, const float* b, float* c,
                    int m_dim, int k_dim, int n_dim) {
+  static obs::Counter* const calls = GemmCallCounter("nt_strided");
+  CountGemm(calls, m_dim, k_dim, n_dim);
   BlockedGemm(a, lda, /*trans_a=*/false, b, k_dim, /*trans_b=*/true, c,
               m_dim, k_dim, n_dim);
 }
 
 void GemmTN(const float* a, const float* b, float* c, int m_dim, int k_dim,
             int n_dim) {
+  static obs::Counter* const calls = GemmCallCounter("tn");
+  CountGemm(calls, m_dim, k_dim, n_dim);
   BlockedGemm(a, m_dim, /*trans_a=*/true, b, n_dim, /*trans_b=*/false, c,
               m_dim, k_dim, n_dim);
 }

@@ -1,0 +1,192 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace omnimatch {
+namespace obs {
+
+namespace {
+std::atomic<bool> g_metrics_enabled{false};
+
+/// snprintf a double without trailing-zero noise; %g keeps the JSONL short
+/// and round-trips fine for the magnitudes we record.
+std::string NumberToJson(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+}  // namespace
+
+void EnableMetrics(bool on) {
+  g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+namespace internal {
+
+int AssignShard() {
+  static std::atomic<int> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+}
+
+}  // namespace internal
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      shards_(std::make_unique<Shard[]>(internal::kMetricShards)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  size_t buckets = bounds_.size() + 1;
+  for (int s = 0; s < internal::kMetricShards; ++s) {
+    shards_[s].buckets = std::make_unique<std::atomic<int64_t>[]>(buckets);
+    for (size_t b = 0; b < buckets; ++b) {
+      shards_[s].buckets[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::Observe(double value) {
+  Shard& s = shards_[internal::ThisShard()];
+  size_t idx = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  s.buckets[idx].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  double cur = s.sum.load(std::memory_order_relaxed);
+  while (!s.sum.compare_exchange_weak(cur, cur + value,
+                                      std::memory_order_relaxed,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> out(bounds_.size() + 1, 0);
+  for (int s = 0; s < internal::kMetricShards; ++s) {
+    for (size_t b = 0; b < out.size(); ++b) {
+      out[b] += shards_[s].buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+int64_t Histogram::Count() const {
+  int64_t total = 0;
+  for (int s = 0; s < internal::kMetricShards; ++s) {
+    total += shards_[s].count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (int s = 0; s < internal::kMetricShards; ++s) {
+    total += shards_[s].sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::Reset() {
+  for (int s = 0; s < internal::kMetricShards; ++s) {
+    for (size_t b = 0; b <= bounds_.size(); ++b) {
+      shards_[s].buckets[b].store(0, std::memory_order_relaxed);
+    }
+    shards_[s].count.store(0, std::memory_order_relaxed);
+    shards_[s].sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> Histogram::DefaultDurationBoundsNs() {
+  return {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10};
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  return GetHistogram(name, Histogram::DefaultDurationBoundsNs());
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string MetricsRegistry::RenderJsonLines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += "{\"type\":\"counter\",\"name\":\"" + name + "\",\"value\":" +
+           std::to_string(c->Value()) + "}\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += "{\"type\":\"gauge\",\"name\":\"" + name + "\",\"value\":" +
+           NumberToJson(g->Value()) + "}\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += "{\"type\":\"histogram\",\"name\":\"" + name + "\",\"count\":" +
+           std::to_string(h->Count()) + ",\"sum\":" + NumberToJson(h->Sum()) +
+           ",\"buckets\":[";
+    std::vector<int64_t> counts = h->BucketCounts();
+    const std::vector<double>& bounds = h->bounds();
+    for (size_t b = 0; b < counts.size(); ++b) {
+      if (b > 0) out += ",";
+      out += "{\"le\":";
+      out += b < bounds.size() ? NumberToJson(bounds[b]) : "\"inf\"";
+      out += ",\"count\":" + std::to_string(counts[b]) + "}";
+    }
+    out += "]}\n";
+  }
+  return out;
+}
+
+bool MetricsRegistry::WriteJsonLines(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << RenderJsonLines();
+  return static_cast<bool>(out);
+}
+
+}  // namespace obs
+}  // namespace omnimatch

@@ -1,0 +1,169 @@
+#ifndef OMNIMATCH_OBS_METRICS_H_
+#define OMNIMATCH_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace omnimatch {
+namespace obs {
+
+/// Thread-safe, lock-free-on-the-hot-path metrics primitives.
+///
+/// Design contract (see DESIGN.md "Observability"):
+///  * An increment is one relaxed atomic fetch_add into a per-thread shard —
+///    no locks, no false sharing (shards are cache-line padded), so counters
+///    can sit inside kernels and the thread-pool dispatch path.
+///  * Instruments are registered once in the global MetricsRegistry and live
+///    forever; hot paths cache the returned pointer in a function-local
+///    static.
+///  * Counters and gauges are always live (their cost IS the near-zero
+///    budget). Anything that needs a clock read to feed a histogram gates on
+///    MetricsEnabled(), which is false until a sink (--metrics_out, a
+///    benchmark, a test) attaches.
+///  * Nothing here ever touches an RNG stream, so instrumented and
+///    uninstrumented runs are bit-identical.
+
+/// Turns clock-based collection (phase histograms, pool busy time) on/off.
+/// Plain counter/gauge traffic is unaffected. Relaxed atomic; safe to flip
+/// from any thread.
+void EnableMetrics(bool on);
+bool MetricsEnabled();
+
+namespace internal {
+
+/// Shards a counter/histogram across kMetricShards cache lines; each thread
+/// is pinned to one shard (round-robin at first use) so concurrent
+/// increments from the pool workers never contend on one line.
+inline constexpr int kMetricShards = 16;
+
+int AssignShard();
+
+inline int ThisShard() {
+  thread_local int shard = AssignShard();
+  return shard;
+}
+
+}  // namespace internal
+
+/// Monotonic counter. Add() is a relaxed fetch_add; Value() sums the shards
+/// (exact — relaxed atomicity never loses increments, only orders them).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(int64_t delta) {
+    shards_[internal::ThisShard()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  int64_t Value() const;
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> value{0};
+  };
+  Shard shards_[internal::kMetricShards];
+};
+
+/// Last-write-wins instantaneous value (pool size, live LR, ...).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. `bounds` are ascending inclusive upper bounds;
+/// an implicit +inf bucket catches the tail. Observe() is shard-local:
+/// one relaxed fetch_add per bucket/count plus a CAS loop on the shard's
+/// sum (uncontended in practice — each thread owns its shard).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts, size bounds().size() + 1.
+  std::vector<int64_t> BucketCounts() const;
+  int64_t Count() const;
+  double Sum() const;
+  void Reset();
+
+  /// Default duration buckets in nanoseconds: 1us .. 10s, decades.
+  static std::vector<double> DefaultDurationBoundsNs();
+
+ private:
+  struct Shard {
+    std::unique_ptr<std::atomic<int64_t>[]> buckets;  // bounds + inf
+    std::atomic<int64_t> count{0};
+    std::atomic<double> sum{0.0};
+    char pad[64 - 2 * sizeof(std::atomic<int64_t>)];
+  };
+
+  std::vector<double> bounds_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+/// Process-global name -> instrument registry. Get* registers on first use
+/// and returns a stable pointer (instruments are never destroyed); cache it
+/// in a function-local static on hot paths. Names are namespaced by type,
+/// so a counter and a gauge may share a name (don't).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Default (duration-ns) buckets.
+  Histogram* GetHistogram(const std::string& name);
+  /// Custom buckets; ignored if `name` is already registered.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+
+  /// Zeroes every instrument (keeps registrations). For tests and the
+  /// benchmark's interleaved on/off pairs; racy-but-safe against concurrent
+  /// increments (they land in the zeroed shards).
+  void ResetAll();
+
+  /// One JSON object per line:
+  ///   {"type":"counter","name":...,"value":N}
+  ///   {"type":"gauge","name":...,"value":X}
+  ///   {"type":"histogram","name":...,"count":N,"sum":X,
+  ///    "buckets":[{"le":B,"count":N},...,{"le":"inf","count":N}]}
+  /// Deterministic order (sorted by type, then name).
+  std::string RenderJsonLines() const;
+  /// Writes RenderJsonLines() to `path`; false on I/O failure.
+  bool WriteJsonLines(const std::string& path) const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_OBS_METRICS_H_

@@ -1,0 +1,183 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+namespace omnimatch {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_tracing{false};
+
+/// Spans kept per thread before the ring wraps. 64k spans x 24 bytes is
+/// ~1.5 MB, allocated lazily on the first record of each thread.
+constexpr size_t kRingCapacity = size_t{1} << 16;
+
+struct SpanEvent {
+  const char* name;
+  int64_t start_ns;
+  int64_t end_ns;
+};
+
+/// One thread's span storage. The owning thread writes; the exporter reads.
+/// The mutex is uncontended on the hot path (the exporter only runs at
+/// snapshot points), so lock/unlock is two uncontended atomic ops.
+struct TraceBuffer {
+  std::mutex mu;
+  std::vector<SpanEvent> ring;
+  size_t next = 0;
+  size_t size = 0;
+  uint64_t dropped = 0;
+  int tid = 0;
+};
+
+struct TraceRegistry {
+  std::mutex mu;
+  // shared_ptr so buffers outlive their (possibly exited) threads.
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  int next_tid = 1;
+};
+
+TraceRegistry& GlobalTraceRegistry() {
+  static TraceRegistry* registry = new TraceRegistry();  // leaked
+  return *registry;
+}
+
+TraceBuffer* LocalBuffer() {
+  thread_local std::shared_ptr<TraceBuffer> buffer = [] {
+    auto b = std::make_shared<TraceBuffer>();
+    TraceRegistry& reg = GlobalTraceRegistry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    b->tid = reg.next_tid++;
+    reg.buffers.push_back(b);
+    return b;
+  }();
+  return buffer.get();
+}
+
+}  // namespace
+
+void EnableTracing(bool on) {
+  g_tracing.store(on, std::memory_order_relaxed);
+}
+
+bool TracingEnabled() {
+  return g_tracing.load(std::memory_order_relaxed);
+}
+
+namespace internal {
+
+int64_t TraceNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void RecordSpan(const char* name, int64_t start_ns, int64_t end_ns) {
+  TraceBuffer* b = LocalBuffer();
+  std::lock_guard<std::mutex> lock(b->mu);
+  if (b->ring.empty()) b->ring.resize(kRingCapacity);
+  b->ring[b->next] = {name, start_ns, end_ns};
+  b->next = (b->next + 1) % kRingCapacity;
+  if (b->size < kRingCapacity) {
+    ++b->size;
+  } else {
+    ++b->dropped;
+  }
+}
+
+}  // namespace internal
+
+std::vector<ExportedSpan> ExportSpans() {
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  {
+    TraceRegistry& reg = GlobalTraceRegistry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    buffers = reg.buffers;
+  }
+  std::vector<ExportedSpan> out;
+  for (const auto& b : buffers) {
+    std::lock_guard<std::mutex> lock(b->mu);
+    // Oldest-first: when the ring wrapped, the oldest surviving span sits
+    // at `next`.
+    size_t start = b->size < kRingCapacity ? 0 : b->next;
+    for (size_t i = 0; i < b->size; ++i) {
+      const SpanEvent& e = b->ring[(start + i) % kRingCapacity];
+      out.push_back({e.name, e.start_ns, e.end_ns, b->tid});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ExportedSpan& a, const ExportedSpan& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return out;
+}
+
+uint64_t DroppedSpans() {
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  {
+    TraceRegistry& reg = GlobalTraceRegistry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    buffers = reg.buffers;
+  }
+  uint64_t dropped = 0;
+  for (const auto& b : buffers) {
+    std::lock_guard<std::mutex> lock(b->mu);
+    dropped += b->dropped;
+  }
+  return dropped;
+}
+
+void ClearTrace() {
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  {
+    TraceRegistry& reg = GlobalTraceRegistry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    buffers = reg.buffers;
+  }
+  for (const auto& b : buffers) {
+    std::lock_guard<std::mutex> lock(b->mu);
+    b->next = 0;
+    b->size = 0;
+    b->dropped = 0;
+  }
+}
+
+std::string RenderChromeTrace() {
+  std::vector<ExportedSpan> spans = ExportSpans();
+  std::string out = "{\"traceEvents\":[\n";
+  char buf[256];
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const ExportedSpan& s = spans[i];
+    // Complete ("X") events; ts/dur in microseconds as chrome://tracing
+    // expects. The steady-clock epoch is arbitrary but shared by all spans.
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"omnimatch\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d}%s\n",
+                  s.name, static_cast<double>(s.start_ns) / 1e3,
+                  static_cast<double>(s.end_ns - s.start_ns) / 1e3, s.tid,
+                  i + 1 < spans.size() ? "," : "");
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "],\"otherData\":{\"dropped_spans\":%llu}}\n",
+                static_cast<unsigned long long>(DroppedSpans()));
+  out += buf;
+  return out;
+}
+
+bool WriteChromeTrace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << RenderChromeTrace();
+  return static_cast<bool>(out);
+}
+
+}  // namespace obs
+}  // namespace omnimatch

@@ -1,0 +1,114 @@
+#ifndef OMNIMATCH_OBS_TRACE_H_
+#define OMNIMATCH_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace omnimatch {
+namespace obs {
+
+/// Scoped trace spans recorded into per-thread ring buffers and exported as
+/// Chrome trace_event JSON (load the file in chrome://tracing or Perfetto).
+///
+/// Cost model:
+///  * Tracing disabled (the default): constructing a span is one relaxed
+///    atomic load — no clock read, no allocation, no lock.
+///  * Tracing enabled: two steady_clock reads plus one ring-buffer write
+///    under the buffer's own (uncontended) mutex; the buffer is only shared
+///    with the exporter.
+/// Span names must be string literals (or otherwise outlive the export):
+/// the ring buffer stores the pointer, not a copy.
+
+/// Flips the global trace switch. Spans opened while the switch is off are
+/// never recorded (the decision is taken at construction).
+void EnableTracing(bool on);
+bool TracingEnabled();
+
+/// One exported span, in steady-clock nanoseconds.
+struct ExportedSpan {
+  const char* name;
+  int64_t start_ns;
+  int64_t end_ns;
+  int tid;  // stable per-thread id assigned at first record
+};
+
+/// Snapshot of every thread's ring buffer, sorted by start time. Safe to
+/// call while other threads are still recording (each buffer is copied
+/// under its lock).
+std::vector<ExportedSpan> ExportSpans();
+
+/// Number of spans overwritten by ring wrap-around since the last Clear.
+uint64_t DroppedSpans();
+
+/// Drops all recorded spans (buffers stay registered).
+void ClearTrace();
+
+/// Chrome trace_event JSON: {"traceEvents":[{"name","cat","ph":"X","ts",
+/// "dur","pid","tid"},...],"otherData":{...}} with ts/dur in microseconds.
+std::string RenderChromeTrace();
+/// Writes RenderChromeTrace() to `path`; false on I/O failure.
+bool WriteChromeTrace(const std::string& path);
+
+namespace internal {
+/// Appends one finished span to the calling thread's ring buffer.
+void RecordSpan(const char* name, int64_t start_ns, int64_t end_ns);
+/// Steady-clock nanoseconds (shared epoch with the exporters).
+int64_t TraceNowNs();
+}  // namespace internal
+
+/// RAII span. Records into the trace when tracing is enabled, and/or
+/// observes its duration (ns) into `hist` when metrics are enabled. When
+/// neither sink is attached the constructor returns after one atomic load
+/// and the destructor after one branch.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, Histogram* hist = nullptr)
+      : name_(name) {
+    bool tracing = TracingEnabled();
+    hist_ = (hist != nullptr && MetricsEnabled()) ? hist : nullptr;
+    if (!tracing && hist_ == nullptr) return;
+    tracing_ = tracing;
+    start_ns_ = internal::TraceNowNs();
+  }
+
+  ~TraceSpan() {
+    if (!tracing_ && hist_ == nullptr) return;
+    int64_t end_ns = internal::TraceNowNs();
+    if (tracing_) internal::RecordSpan(name_, start_ns_, end_ns);
+    if (hist_ != nullptr) {
+      hist_->Observe(static_cast<double>(end_ns - start_ns_));
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  Histogram* hist_ = nullptr;
+  int64_t start_ns_ = 0;
+  bool tracing_ = false;
+};
+
+}  // namespace obs
+}  // namespace omnimatch
+
+#define OM_TRACE_CONCAT_INNER_(a, b) a##b
+#define OM_TRACE_CONCAT_(a, b) OM_TRACE_CONCAT_INNER_(a, b)
+
+/// Scoped span covering the rest of the enclosing block:
+///   OM_TRACE_SPAN("backward");
+/// `name` must be a string literal.
+#define OM_TRACE_SPAN(name) \
+  ::omnimatch::obs::TraceSpan OM_TRACE_CONCAT_(om_trace_span_, __LINE__)(name)
+
+/// Same, additionally observing the duration (ns) into `hist` (a
+/// obs::Histogram*) when metrics collection is enabled.
+#define OM_TRACE_SPAN_TIMED(name, hist)                                \
+  ::omnimatch::obs::TraceSpan OM_TRACE_CONCAT_(om_trace_span_,         \
+                                               __LINE__)(name, (hist))
+
+#endif  // OMNIMATCH_OBS_TRACE_H_

@@ -73,5 +73,66 @@ TEST(FlagParserTest, BareDoubleDashRejected) {
   EXPECT_FALSE(p.Parse(static_cast<int>(argv.size()), argv.data()).ok());
 }
 
+TEST(FlagParserTest, NegativeAndScientificNumbersParse) {
+  std::vector<std::string> args = {"prog", "--offset=-3", "--lr=2e-3"};
+  auto argv = MakeArgv(args);
+  FlagParser p;
+  ASSERT_TRUE(p.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(p.GetInt("offset", 0), -3);
+  EXPECT_NEAR(p.GetDouble("lr", 0.0), 2e-3, 1e-15);
+}
+
+// Malformed numeric flags must fail loudly, naming the flag — the old atoi
+// path silently returned 0, so --threads=abc trained on a zero-thread pool.
+class FlagParserDeathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // The process may have running threads (the compute pool); fork+exec
+    // style death tests stay safe under TSan.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+
+  FlagParser ParseOne(const std::string& flag) {
+    storage_ = {"prog", flag};
+    auto argv = MakeArgv(storage_);
+    FlagParser p;
+    EXPECT_TRUE(p.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+    return p;
+  }
+
+ private:
+  std::vector<std::string> storage_;
+};
+
+TEST_F(FlagParserDeathTest, MalformedIntExitsNamingTheFlag) {
+  FlagParser p = ParseOne("--threads=abc");
+  EXPECT_EXIT(p.GetInt("threads", 0), ::testing::ExitedWithCode(2),
+              "invalid value \"abc\" for flag --threads");
+}
+
+TEST_F(FlagParserDeathTest, TrailingGarbageIntExits) {
+  FlagParser p = ParseOne("--epochs=12abc");
+  EXPECT_EXIT(p.GetInt("epochs", 0), ::testing::ExitedWithCode(2),
+              "invalid value \"12abc\" for flag --epochs");
+}
+
+TEST_F(FlagParserDeathTest, OverflowingIntExits) {
+  FlagParser p = ParseOne("--seed=99999999999999999999");
+  EXPECT_EXIT(p.GetInt("seed", 0), ::testing::ExitedWithCode(2),
+              "flag --seed");
+}
+
+TEST_F(FlagParserDeathTest, MalformedDoubleExitsNamingTheFlag) {
+  FlagParser p = ParseOne("--alpha=0.2x");
+  EXPECT_EXIT(p.GetDouble("alpha", 0.0), ::testing::ExitedWithCode(2),
+              "invalid value \"0.2x\" for flag --alpha");
+}
+
+TEST_F(FlagParserDeathTest, EmptyNumericValueExits) {
+  FlagParser p = ParseOne("--batch=");
+  EXPECT_EXIT(p.GetInt("batch", 0), ::testing::ExitedWithCode(2),
+              "flag --batch");
+}
+
 }  // namespace
 }  // namespace omnimatch

@@ -1,0 +1,64 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace omnimatch {
+namespace {
+
+// Restores the global log level after each test.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+int CountingOperand(int* evaluations) {
+  ++*evaluations;
+  return 42;
+}
+
+TEST_F(LoggingTest, SuppressedMessageNeverEvaluatesOperands) {
+  // The whole point of the ternary-based OM_LOG: below the threshold,
+  // neither the LogMessage nor any streamed expression is constructed.
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  OM_LOG(Debug) << "value " << CountingOperand(&evaluations);
+  OM_LOG(Info) << CountingOperand(&evaluations);
+  OM_LOG(Warning) << CountingOperand(&evaluations)
+                  << CountingOperand(&evaluations);
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST_F(LoggingTest, EmittedMessageEvaluatesOperandsOnce) {
+  SetLogLevel(LogLevel::kDebug);
+  int evaluations = 0;
+  OM_LOG(Error) << "value " << CountingOperand(&evaluations);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, ThresholdIsInclusive) {
+  SetLogLevel(LogLevel::kWarning);
+  int evaluations = 0;
+  OM_LOG(Warning) << CountingOperand(&evaluations);  // at threshold: emitted
+  OM_LOG(Info) << CountingOperand(&evaluations);     // below: suppressed
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, MacroIsSafeInUnbracedIfElse) {
+  // An expression-shaped macro must not swallow the else branch.
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  bool took_else = false;
+  if (evaluations == 0)
+    OM_LOG(Info) << CountingOperand(&evaluations);
+  else
+    took_else = true;
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_FALSE(took_else);
+}
+
+}  // namespace
+}  // namespace omnimatch

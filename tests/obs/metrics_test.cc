@@ -1,0 +1,180 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace omnimatch {
+namespace obs {
+namespace {
+
+// The registry is process-global; tests use unique instrument names and
+// restore the enable switch so they compose in any order.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void TearDown() override { EnableMetrics(false); }
+};
+
+TEST_F(MetricsTest, CounterStartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0);
+}
+
+TEST_F(MetricsTest, CounterExactUnderConcurrency) {
+  // Sharded relaxed increments must never lose a count: the total across
+  // kThreads x kIncrements concurrent writers is exact, not approximate.
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncrements; ++i) c.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Value(), int64_t{kThreads} * kIncrements);
+}
+
+TEST_F(MetricsTest, GaugeIsLastWriteWins) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0.0);
+  g.Set(3.5);
+  g.Set(-2.0);
+  EXPECT_EQ(g.Value(), -2.0);
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0.0);
+}
+
+TEST_F(MetricsTest, HistogramBucketsInclusiveUpperBounds) {
+  Histogram h({10.0, 100.0});
+  h.Observe(5.0);     // <= 10
+  h.Observe(10.0);    // <= 10 (inclusive)
+  h.Observe(11.0);    // <= 100
+  h.Observe(100.0);   // <= 100
+  h.Observe(1000.0);  // +inf tail
+  std::vector<int64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(h.Count(), 5);
+  EXPECT_DOUBLE_EQ(h.Sum(), 1126.0);
+}
+
+TEST_F(MetricsTest, HistogramExactUnderConcurrency) {
+  constexpr int kThreads = 8;
+  constexpr int kObservations = 5000;
+  Histogram h({1.0, 2.0});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kObservations; ++i) h.Observe(1.0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  int64_t expected = int64_t{kThreads} * kObservations;
+  EXPECT_EQ(h.Count(), expected);
+  // Every observation is exactly 1.0, so the CAS-accumulated sum is exact.
+  EXPECT_DOUBLE_EQ(h.Sum(), static_cast<double>(expected));
+  EXPECT_EQ(h.BucketCounts()[0], expected);
+}
+
+TEST_F(MetricsTest, HistogramResetKeepsBounds) {
+  Histogram h({10.0});
+  h.Observe(1.0);
+  h.Observe(100.0);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+  std::vector<int64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[1], 0);
+}
+
+TEST_F(MetricsTest, RegistryReturnsStablePointers) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* c1 = registry.GetCounter("metrics_test.stable");
+  Counter* c2 = registry.GetCounter("metrics_test.stable");
+  EXPECT_EQ(c1, c2);
+  Histogram* h1 = registry.GetHistogram("metrics_test.stable_h", {1.0});
+  // Re-registration with different bounds keeps the original instrument.
+  Histogram* h2 = registry.GetHistogram("metrics_test.stable_h", {99.0});
+  EXPECT_EQ(h1, h2);
+  ASSERT_EQ(h1->bounds().size(), 1u);
+  EXPECT_DOUBLE_EQ(h1->bounds()[0], 1.0);
+}
+
+TEST_F(MetricsTest, RegistryConcurrentGetSameInstrument) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 2000;
+  registry.GetCounter("metrics_test.concurrent_get")->Reset();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < kIncrements; ++i) {
+        registry.GetCounter("metrics_test.concurrent_get")->Increment();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("metrics_test.concurrent_get")->Value(),
+            int64_t{kThreads} * kIncrements);
+}
+
+TEST_F(MetricsTest, EnableSwitchRoundTrips) {
+  EXPECT_FALSE(MetricsEnabled());  // off by default
+  EnableMetrics(true);
+  EXPECT_TRUE(MetricsEnabled());
+  EnableMetrics(false);
+  EXPECT_FALSE(MetricsEnabled());
+}
+
+TEST_F(MetricsTest, RenderJsonLinesShapes) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("metrics_test.render_c")->Reset();
+  registry.GetCounter("metrics_test.render_c")->Add(7);
+  registry.GetGauge("metrics_test.render_g")->Set(2.5);
+  Histogram* h = registry.GetHistogram("metrics_test.render_h", {10.0});
+  h->Reset();
+  h->Observe(3.0);
+  h->Observe(30.0);
+  std::string jsonl = registry.RenderJsonLines();
+  EXPECT_NE(jsonl.find("{\"type\":\"counter\",\"name\":"
+                       "\"metrics_test.render_c\",\"value\":7}"),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("{\"type\":\"gauge\",\"name\":"
+                       "\"metrics_test.render_g\",\"value\":2.5}"),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("{\"type\":\"histogram\",\"name\":"
+                       "\"metrics_test.render_h\",\"count\":2,\"sum\":33,"
+                       "\"buckets\":[{\"le\":10,\"count\":1},"
+                       "{\"le\":\"inf\",\"count\":1}]}"),
+            std::string::npos);
+  // One standalone JSON object per line.
+  size_t pos = 0, lines = 0;
+  while ((pos = jsonl.find('\n', pos)) != std::string::npos) {
+    ++lines;
+    ++pos;
+  }
+  EXPECT_EQ(jsonl.empty() ? 0 : jsonl.back(), '\n');
+  EXPECT_GE(lines, 3u);
+}
+
+TEST_F(MetricsTest, WriteJsonLinesFailsOnBadPath) {
+  EXPECT_FALSE(MetricsRegistry::Global().WriteJsonLines(
+      "/nonexistent_dir_for_metrics_test/out.jsonl"));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace omnimatch
