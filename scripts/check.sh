@@ -18,14 +18,23 @@ run_release() {
   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
   cmake --build build -j "${JOBS}"
   ctest --test-dir build --output-on-failure -j "${JOBS}"
+  echo "=== Recorded-graph executor smoke benchmark ==="
+  # Self-checking: fails unless replayed steps are at least as fast as eager
+  # at every thread count AND the replay path allocated zero tensor nodes.
+  # The 1.0 floor (not the ~1.5-3x a quiet machine shows) keeps the gate
+  # meaningful on loaded CI runners.
+  ./build/bench/bench_graph --reps=3 --check_speedup_min=1.0 \
+    --out=build/BENCH_graph.json
 }
 
 # Sanitizer configs only build the test tree (benchmarks and examples add
 # nothing to coverage and double the build time). TSan exercises the thread
-# pool, the blocked GEMM, every parallel op, and the sharded metrics /
-# trace-ring concurrency tests through common_test/nn_test/obs_test; ASan
-# and UBSan additionally run the trainer-level suites — including the
-# fault-injection tests, so every guard rollback/retry path is walked under
+# pool, the blocked GEMM, every parallel op, the recorded-graph executor
+# (record/replay/arena, in nn_test), and the sharded metrics / trace-ring
+# concurrency tests through common_test/nn_test/obs_test; ASan and UBSan
+# additionally run the trainer-level suites — including the fault-injection
+# tests and the graph-vs-eager trainer equivalence tests, so every guard
+# rollback/retry path and the compiled replay path are walked under
 # instrumentation.
 run_sanitizer() {
   local kind="$1" dir="build-$1" ; shift

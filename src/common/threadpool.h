@@ -102,6 +102,20 @@ int GetNumThreads();
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,
                  const std::function<void(int64_t, int64_t)>& fn);
 
+/// RAII scope forcing every ParallelFor issued by this thread (including
+/// from nested kernels) to run inline as one chunk. By the pool's
+/// determinism contract the result is bit-identical to a dispatched run, so
+/// this only trades parallelism for zero scheduling overhead. Used by the
+/// compiled-graph executor for ops whose recorded work is too small to
+/// amortize a dispatch. Nestable.
+class SerialRegion {
+ public:
+  SerialRegion();
+  ~SerialRegion();
+  SerialRegion(const SerialRegion&) = delete;
+  SerialRegion& operator=(const SerialRegion&) = delete;
+};
+
 }  // namespace omnimatch
 
 #endif  // OMNIMATCH_COMMON_THREADPOOL_H_

@@ -127,6 +127,11 @@ struct OmniMatchConfig {
   /// document assembly). 0 = all hardware threads. Results are
   /// bit-identical for every setting; see DESIGN.md "Threading".
   int num_threads = 0;
+  /// Record each distinct batch shape's training step once, compile it
+  /// (dead-node elimination, kernel fusion, liveness-planned arena), and
+  /// replay the compiled plan on later steps. Bit-identical to eager at
+  /// every thread count; see DESIGN.md "Recorded-graph execution".
+  bool graph_exec = false;
 
   // --- checkpointing (see DESIGN.md "Checkpoint format") ---
   /// Save a crash-safe checkpoint into `checkpoint_dir` every this many
@@ -176,9 +181,11 @@ struct OmniMatchConfig {
   /// `verbose`, `num_threads` (results are thread-count invariant), the
   /// checkpoint fields themselves, the guard fields (a fault-free
   /// guarded run is bit-identical to an unguarded one, and after a fault
-  /// the backed-off learning rate travels inside the checkpoint), and the
+  /// the backed-off learning rate travels inside the checkpoint), the
   /// observability sinks metrics_out / trace_out (instrumentation never
-  /// touches an RNG stream, so traced runs are bit-identical too).
+  /// touches an RNG stream, so traced runs are bit-identical too), and
+  /// `graph_exec` (the recorded executor is bit-identical to eager, so a
+  /// checkpoint from either mode resumes interchangeably under the other).
   uint64_t Fingerprint() const;
 };
 

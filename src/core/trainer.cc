@@ -78,6 +78,9 @@ Status OmniMatchTrainer::Prepare() {
         "training users have no target-domain records");
   }
   model_ = std::make_unique<OmniMatchModel>(config_, vocab_.size(), &rng_);
+  graph_exec_ = config_.graph_exec
+                    ? std::make_unique<nn::graph::GraphExecutor>()
+                    : nullptr;
   if (config_.optimizer == OptimizerKind::kAdadelta) {
     optimizer_ = std::make_unique<nn::Adadelta>(
         model_->Parameters(), config_.learning_rate, config_.adadelta_rho);
@@ -410,74 +413,82 @@ OmniMatchTrainer::StepOutcome OmniMatchTrainer::TrainBatch(
   OmniMatchModel::UserFeatures src, tgt;
   Tensor item_rep;
   Tensor r_source, r_target, rating_logits;
-  {
-    OM_TRACE_SPAN_TIMED("forward", PhaseHist("trainer.forward_ns"));
-    src = model_->ExtractUser(DomainSide::kSource, src_doc_ids, b);
-    tgt = model_->ExtractUser(DomainSide::kTarget, tgt_doc_ids, b);
-    item_rep = model_->ExtractItem(item_doc_ids, b);
-
-    r_source = OmniMatchModel::UserRepresentation(src);
-    r_target = OmniMatchModel::UserRepresentation(tgt);
-
-    // Rating classifier (Eq. 18-19).
-    rating_logits = model_->RatingLogits(r_target, item_rep);
-  }
-
   Tensor loss;
   double rating_loss = 0.0;
   double scl_loss = 0.0;
   double domain_loss = 0.0;
   {
-    OM_TRACE_SPAN_TIMED("losses", PhaseHist("trainer.losses_ns"));
-    loss = nn::SoftmaxCrossEntropy(rating_logits, labels);
-    if (config_.use_hybrid_inference) {
-      // Train the classifier on the hybrid representation used for
-      // cold-start inference: the user's source-domain invariant features
-      // (aligned by DA + SCL) concatenated with the target-side specific
-      // features.
-      Tensor hybrid = nn::ConcatCols({src.invariant, tgt.specific});
-      Tensor hybrid_loss = nn::SoftmaxCrossEntropy(
-          model_->RatingLogits(hybrid, item_rep), labels);
-      loss = nn::Scale(nn::Add(loss, hybrid_loss), 0.5f);
-    }
-    rating_loss = loss.ScalarValue();
+    // Recorded-graph region around forward + losses + backward: with
+    // graph_exec on, the first step per batch size records and compiles the
+    // op stream, later steps replay the compiled plan (nn/graph.h). The
+    // batch size is the plan signature — it determines every shape in the
+    // step. A null executor makes the scope a no-op.
+    nn::graph::StepScope graph_scope(graph_exec_.get(), b);
+    {
+      OM_TRACE_SPAN_TIMED("forward", PhaseHist("trainer.forward_ns"));
+      src = model_->ExtractUser(DomainSide::kSource, src_doc_ids, b);
+      tgt = model_->ExtractUser(DomainSide::kTarget, tgt_doc_ids, b);
+      item_rep = model_->ExtractItem(item_doc_ids, b);
 
-    // --- Contrastive Representation Learning Module (Fig. 2 D, Eq. 11-13):
-    // project source and target user-item pairs; positives share a rating.
-    if (config_.use_scl && config_.alpha > 0.0f) {
-      Tensor x_src = model_->Project(r_source, item_rep);
-      Tensor x_tgt = model_->Project(r_target, item_rep);
-      Tensor features = nn::ConcatRows({x_src, x_tgt});
-      std::vector<int> scl_labels = labels;
-      scl_labels.insert(scl_labels.end(), labels.begin(), labels.end());
-      Tensor scl = nn::SupConLoss(features, scl_labels, config_.temperature);
-      scl_loss = scl.ScalarValue();
-      loss = nn::Add(loss, nn::Scale(scl, config_.alpha));
+      r_source = OmniMatchModel::UserRepresentation(src);
+      r_target = OmniMatchModel::UserRepresentation(tgt);
+
+      // Rating classifier (Eq. 18-19).
+      rating_logits = model_->RatingLogits(r_target, item_rep);
     }
 
-    // --- Domain Adversarial Training Module (Fig. 2 C, Eq. 14-17, 20):
-    // invariant features behind the GRL, specific features trained normally.
-    if (config_.use_domain_adversarial && config_.beta > 0.0f) {
-      std::vector<int> domain_labels(static_cast<size_t>(2 * b), 0);
-      for (int i = b; i < 2 * b; ++i) {
-        domain_labels[static_cast<size_t>(i)] = 1;
+    {
+      OM_TRACE_SPAN_TIMED("losses", PhaseHist("trainer.losses_ns"));
+      loss = nn::SoftmaxCrossEntropy(rating_logits, labels);
+      if (config_.use_hybrid_inference) {
+        // Train the classifier on the hybrid representation used for
+        // cold-start inference: the user's source-domain invariant features
+        // (aligned by DA + SCL) concatenated with the target-side specific
+        // features.
+        Tensor hybrid = nn::ConcatCols({src.invariant, tgt.specific});
+        Tensor hybrid_loss = nn::SoftmaxCrossEntropy(
+            model_->RatingLogits(hybrid, item_rep), labels);
+        loss = nn::Scale(nn::Add(loss, hybrid_loss), 0.5f);
       }
-      Tensor inv = nn::ConcatRows({src.invariant, tgt.invariant});
-      Tensor spec = nn::ConcatRows({src.specific, tgt.specific});
-      Tensor inv_loss = nn::SoftmaxCrossEntropy(
-          model_->DomainLogitsInvariant(inv), domain_labels);
-      Tensor spec_loss = nn::SoftmaxCrossEntropy(
-          model_->DomainLogitsSpecific(spec), domain_labels);
-      Tensor domain = nn::Add(inv_loss, spec_loss);  // Eq. 20
-      domain_loss = domain.ScalarValue();
-      loss = nn::Add(loss, nn::Scale(domain, config_.beta));  // Eq. 21
-    }
-  }
+      rating_loss = loss.ScalarValue();
 
-  {
-    OM_TRACE_SPAN_TIMED("backward", PhaseHist("trainer.backward_ns"));
-    loss.Backward();
-  }
+      // --- Contrastive Representation Learning Module (Fig. 2 D, Eq. 11-13):
+      // project source and target user-item pairs; positives share a rating.
+      if (config_.use_scl && config_.alpha > 0.0f) {
+        Tensor x_src = model_->Project(r_source, item_rep);
+        Tensor x_tgt = model_->Project(r_target, item_rep);
+        Tensor features = nn::ConcatRows({x_src, x_tgt});
+        std::vector<int> scl_labels = labels;
+        scl_labels.insert(scl_labels.end(), labels.begin(), labels.end());
+        Tensor scl = nn::SupConLoss(features, scl_labels, config_.temperature);
+        scl_loss = scl.ScalarValue();
+        loss = nn::Add(loss, nn::Scale(scl, config_.alpha));
+      }
+
+      // --- Domain Adversarial Training Module (Fig. 2 C, Eq. 14-17, 20):
+      // invariant features behind the GRL, specific features trained normally.
+      if (config_.use_domain_adversarial && config_.beta > 0.0f) {
+        std::vector<int> domain_labels(static_cast<size_t>(2 * b), 0);
+        for (int i = b; i < 2 * b; ++i) {
+          domain_labels[static_cast<size_t>(i)] = 1;
+        }
+        Tensor inv = nn::ConcatRows({src.invariant, tgt.invariant});
+        Tensor spec = nn::ConcatRows({src.specific, tgt.specific});
+        Tensor inv_loss = nn::SoftmaxCrossEntropy(
+            model_->DomainLogitsInvariant(inv), domain_labels);
+        Tensor spec_loss = nn::SoftmaxCrossEntropy(
+            model_->DomainLogitsSpecific(spec), domain_labels);
+        Tensor domain = nn::Add(inv_loss, spec_loss);  // Eq. 20
+        domain_loss = domain.ScalarValue();
+        loss = nn::Add(loss, nn::Scale(domain, config_.beta));  // Eq. 21
+      }
+    }
+
+    {
+      OM_TRACE_SPAN_TIMED("backward", PhaseHist("trainer.backward_ns"));
+      loss.Backward();
+    }
+  }  // graph_scope: replay verification / plan compilation happens here
 
   // Fault point "grad": flip one gradient value after backward, before the
   // clip — exactly the poison a real overflow would plant.

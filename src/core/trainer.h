@@ -17,6 +17,7 @@
 #include "data/dataset.h"
 #include "data/splits.h"
 #include "eval/metrics.h"
+#include "nn/graph.h"
 #include "nn/optimizer.h"
 #include "text/vocabulary.h"
 
@@ -122,6 +123,10 @@ class OmniMatchTrainer {
   }
   OmniMatchModel* model() { return model_.get(); }
   const data::ColdStartSplit& split() const { return split_; }
+  /// Null unless the trainer was Prepared with config.graph_exec.
+  const nn::graph::GraphExecutor* graph_executor() const {
+    return graph_exec_.get();
+  }
 
  private:
   struct TrainSample {
@@ -197,6 +202,8 @@ class OmniMatchTrainer {
   std::unique_ptr<AuxReviewGenerator> aux_generator_;
   std::unique_ptr<OmniMatchModel> model_;
   std::unique_ptr<nn::Optimizer> optimizer_;
+  /// Recorded-graph step executor; null unless config_.graph_exec.
+  std::unique_ptr<nn::graph::GraphExecutor> graph_exec_;
 
   /// Fixed documents used at evaluation time (deterministic).
   std::unordered_map<int, std::vector<int>> user_source_docs_;

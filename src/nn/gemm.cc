@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/threadpool.h"
+#include "nn/elemwise.h"
 #include "obs/metrics.h"
 
 namespace omnimatch {
@@ -223,6 +224,27 @@ void GemmTN(const float* a, const float* b, float* c, int m_dim, int k_dim,
   CountGemm(calls, m_dim, k_dim, n_dim);
   BlockedGemm(a, m_dim, /*trans_a=*/true, b, n_dim, /*trans_b=*/false, c,
               m_dim, k_dim, n_dim);
+}
+
+void FusedLinearForward(const float* a, const float* b, const float* bias,
+                        float* c, int m_dim, int k_dim, int n_dim,
+                        bool relu) {
+  size_t total = static_cast<size_t>(m_dim) * n_dim;
+  std::fill(c, c + total, 0.0f);
+  GemmNN(a, b, c, m_dim, k_dim, n_dim);
+  // Row sharding and the ReLU expression match the eager AddRowBroadcast /
+  // Relu kernels exactly (including `v > 0 ? v : 0`, which maps -0.0f to
+  // +0.0f the same way), keeping fused output bit-identical to unfused.
+  ParallelFor(0, m_dim, std::max<int64_t>(1, kElemGrain / n_dim),
+              [&](int64_t r0, int64_t r1) {
+                for (int64_t r = r0; r < r1; ++r) {
+                  float* row = c + static_cast<size_t>(r) * n_dim;
+                  for (int n = 0; n < n_dim; ++n) {
+                    float v = row[n] + bias[n];
+                    row[n] = relu ? (v > 0.0f ? v : 0.0f) : v;
+                  }
+                }
+              });
 }
 
 namespace reference {

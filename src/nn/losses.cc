@@ -6,12 +6,50 @@
 #include "common/check.h"
 #include "common/threadpool.h"
 #include "nn/gemm.h"
+#include "nn/graph.h"
+#include "obs/metrics.h"
 
 namespace omnimatch {
 namespace nn {
 
+namespace {
+
+/// Same counter the eager ops bump in MakeOutput (ops.cc); the losses build
+/// their output nodes by hand.
+obs::Counter* LossNodeAllocCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter("nn.tensor_node_allocs");
+  return counter;
+}
+
+/// Single-input flavors of the graph hooks in ops.cc (see ReplayOp there).
+bool ReplayLoss(graph::OpKind kind, const Tensor& input,
+                const graph::OpArgs& args, Tensor* out) {
+  graph::Session* session = graph::ActiveReplay();
+  if (session == nullptr) return false;
+  const Tensor* in = &input;
+  *out = graph::Replay(session, kind, &in, 1, args);
+  return true;
+}
+
+void RecordLoss(graph::OpKind kind, const Tensor& input, const Tensor& out,
+                const graph::OpArgs& args) {
+  graph::Session* session = graph::ActiveRecording();
+  if (session == nullptr) return;
+  const Tensor* in = &input;
+  graph::Record(session, kind, &in, 1, out, args);
+}
+
+}  // namespace
+
 Tensor SoftmaxCrossEntropy(const Tensor& logits,
                            const std::vector<int>& labels) {
+  graph::OpArgs graph_args;
+  graph_args.ints = &labels;
+  if (Tensor r; ReplayLoss(graph::OpKind::kSoftmaxCrossEntropy, logits,
+                           graph_args, &r)) {
+    return r;
+  }
   OM_CHECK_EQ(logits.ndim(), 2);
   int batch = logits.dim(0);
   int classes = logits.dim(1);
@@ -19,6 +57,7 @@ Tensor SoftmaxCrossEntropy(const Tensor& logits,
   OM_CHECK_EQ(static_cast<size_t>(batch), labels.size());
   for (int y : labels) OM_CHECK(y >= 0 && y < classes) << "label " << y;
 
+  LossNodeAllocCounter()->Increment();
   auto out = std::make_shared<TensorImpl>();
   out->shape = {1};
   out->data = {0.0f};
@@ -70,14 +109,18 @@ Tensor SoftmaxCrossEntropy(const Tensor& logits,
       }
     };
   }
-  return Tensor(std::move(out));
+  Tensor result(std::move(out));
+  RecordLoss(graph::OpKind::kSoftmaxCrossEntropy, logits, result, graph_args);
+  return result;
 }
 
 Tensor MseLoss(const Tensor& pred, const std::vector<float>& target) {
+  graph::UnsupportedOp("MseLoss");
   OM_CHECK_EQ(static_cast<size_t>(pred.numel()), target.size());
   int n = static_cast<int>(target.size());
   OM_CHECK_GT(n, 0);  // mean over an empty batch is NaN
 
+  LossNodeAllocCounter()->Increment();
   auto out = std::make_shared<TensorImpl>();
   out->shape = {1};
   out->data = {0.0f};
@@ -110,6 +153,13 @@ Tensor MseLoss(const Tensor& pred, const std::vector<float>& target) {
 
 Tensor SupConLoss(const Tensor& features, const std::vector<int>& labels,
                   float temperature) {
+  graph::OpArgs graph_args;
+  graph_args.f0 = temperature;
+  graph_args.ints = &labels;
+  if (Tensor r;
+      ReplayLoss(graph::OpKind::kSupConLoss, features, graph_args, &r)) {
+    return r;
+  }
   OM_CHECK_EQ(features.ndim(), 2);
   int batch = features.dim(0);
   int dim = features.dim(1);
@@ -121,6 +171,9 @@ Tensor SupConLoss(const Tensor& features, const std::vector<int>& labels,
     // before the softmax-over-A(i) pass: with an empty A(i) its
     // log-sum-exp is log(0) = -inf, a non-finite intermediate that health
     // scans would flag even though the final loss is a constant zero.
+    // Structurally degenerate: not representable as a recorded node.
+    graph::AbortRecording(graph::ActiveRecording(),
+                          "SupConLoss with batch < 2");
     return Tensor::Scalar(0.0f);
   }
 
@@ -209,10 +262,14 @@ Tensor SupConLoss(const Tensor& features, const std::vector<int>& labels,
   }
 
   if (valid_anchors == 0) {
-    // No positive pairs in the batch; constant zero, no gradient.
+    // No positive pairs in the batch; constant zero, no gradient. A replay
+    // of this signature could later see positives, so don't compile it.
+    graph::AbortRecording(graph::ActiveRecording(),
+                          "SupConLoss batch with no positive pairs");
     return Tensor::Scalar(0.0f);
   }
 
+  LossNodeAllocCounter()->Increment();
   auto out = std::make_shared<TensorImpl>();
   out->shape = {1};
   out->data = {static_cast<float>(total / valid_anchors)};
@@ -276,7 +333,9 @@ Tensor SupConLoss(const Tensor& features, const std::vector<int>& labels,
       });
     };
   }
-  return Tensor(std::move(out));
+  Tensor result(std::move(out));
+  RecordLoss(graph::OpKind::kSupConLoss, features, result, graph_args);
+  return result;
 }
 
 }  // namespace nn

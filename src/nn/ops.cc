@@ -5,7 +5,10 @@
 
 #include "common/check.h"
 #include "common/threadpool.h"
+#include "nn/elemwise.h"
 #include "nn/gemm.h"
+#include "nn/graph.h"
+#include "obs/metrics.h"
 
 namespace omnimatch {
 namespace nn {
@@ -14,25 +17,20 @@ namespace {
 
 using Impl = std::shared_ptr<TensorImpl>;
 
-/// Minimum number of scalar ops before an elementwise loop is worth
-/// sharding over the pool; below this the loop runs inline.
-constexpr int64_t kElemGrain = 1 << 14;
-
-/// Shards an elementwise loop [0, n) over the thread pool. Each index is
-/// written by exactly one chunk, so any fn with per-index independent
-/// writes is bit-deterministic for every thread count.
-template <typename Fn>
-void ParallelElems(size_t n, Fn&& fn) {
-  ParallelFor(0, static_cast<int64_t>(n), kElemGrain,
-              [&fn](int64_t b, int64_t e) {
-                fn(static_cast<size_t>(b), static_cast<size_t>(e));
-              });
+/// Tape nodes allocated by eager ops. Replayed graph steps allocate none:
+/// the ratio of this counter to steps is the zero-alloc evidence surfaced
+/// in the metrics snapshot and BENCH_graph.json.
+obs::Counter* NodeAllocCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter("nn.tensor_node_allocs");
+  return counter;
 }
 
 /// Creates the output node of an op: shape, requires_grad propagation, and
 /// (when grad is needed) the parent edges. The caller attaches backward_fn
 /// only when `out->requires_grad` is true.
 Tensor MakeOutput(std::vector<int> shape, std::vector<Impl> parents) {
+  NodeAllocCounter()->Increment();
   auto out = std::make_shared<TensorImpl>();
   out->shape = std::move(shape);
   out->data.assign(static_cast<size_t>(ShapeNumel(out->shape)), 0.0f);
@@ -49,9 +47,65 @@ void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
       << ShapeToString(b.shape());
 }
 
+/// Graph-executor entry hook: when the calling thread is replaying a
+/// compiled plan, dispatches this op call to the plan (running its kernel
+/// on arena buffers) and returns true with the node's output tensor. The
+/// eager body is skipped entirely. Runs before the op's own input checks —
+/// replayed intermediates keep shapes but not data, so value-based checks
+/// happen inside the plan kernels instead.
+bool ReplayOp(graph::OpKind kind, std::initializer_list<const Tensor*> inputs,
+              const graph::OpArgs& args, Tensor* out) {
+  graph::Session* session = graph::ActiveReplay();
+  if (session == nullptr) return false;
+  *out = graph::Replay(session, kind, inputs.begin(),
+                       static_cast<int>(inputs.size()), args);
+  return true;
+}
+
+/// Graph-executor exit hook: appends the op that just executed eagerly to
+/// the recording, if one is active. Pure observation.
+void RecordOp(graph::OpKind kind, std::initializer_list<const Tensor*> inputs,
+              const Tensor& out, const graph::OpArgs& args) {
+  graph::Session* session = graph::ActiveRecording();
+  if (session == nullptr) return;
+  graph::Record(session, kind, inputs.begin(),
+                static_cast<int>(inputs.size()), out, args);
+}
+
+/// Concat hooks keep the input-pointer array on the stack so the replay
+/// path performs no heap allocation.
+constexpr size_t kMaxConcatParts = 16;
+
+bool ReplayConcat(graph::OpKind kind, const std::vector<Tensor>& parts,
+                  Tensor* out) {
+  graph::Session* session = graph::ActiveReplay();
+  if (session == nullptr) return false;
+  OM_CHECK_LE(parts.size(), kMaxConcatParts) << "concat too wide to replay";
+  const Tensor* ptrs[kMaxConcatParts];
+  for (size_t i = 0; i < parts.size(); ++i) ptrs[i] = &parts[i];
+  *out = graph::Replay(session, kind, ptrs, static_cast<int>(parts.size()),
+                       graph::OpArgs());
+  return true;
+}
+
+void RecordConcat(graph::OpKind kind, const std::vector<Tensor>& parts,
+                  const Tensor& out) {
+  graph::Session* session = graph::ActiveRecording();
+  if (session == nullptr) return;
+  if (parts.size() > kMaxConcatParts) {
+    graph::AbortRecording(session, "concat with too many parts");
+    return;
+  }
+  const Tensor* ptrs[kMaxConcatParts];
+  for (size_t i = 0; i < parts.size(); ++i) ptrs[i] = &parts[i];
+  graph::Record(session, kind, ptrs, static_cast<int>(parts.size()), out,
+                graph::OpArgs());
+}
+
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
+  if (Tensor r; ReplayOp(graph::OpKind::kAdd, {&a, &b}, {}, &r)) return r;
   CheckSameShape(a, b, "Add");
   Tensor out = MakeOutput(a.shape(), {a.impl(), b.impl()});
   const auto& av = a.data();
@@ -79,10 +133,12 @@ Tensor Add(const Tensor& a, const Tensor& b) {
       }
     };
   }
+  RecordOp(graph::OpKind::kAdd, {&a, &b}, out, {});
   return out;
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
+  graph::UnsupportedOp("Sub");
   CheckSameShape(a, b, "Sub");
   Tensor out = MakeOutput(a.shape(), {a.impl(), b.impl()});
   const auto& av = a.data();
@@ -114,6 +170,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
+  if (Tensor r; ReplayOp(graph::OpKind::kMul, {&a, &b}, {}, &r)) return r;
   CheckSameShape(a, b, "Mul");
   Tensor out = MakeOutput(a.shape(), {a.impl(), b.impl()});
   const auto& av = a.data();
@@ -145,10 +202,14 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
       }
     };
   }
+  RecordOp(graph::OpKind::kMul, {&a, &b}, out, {});
   return out;
 }
 
 Tensor Scale(const Tensor& a, float s) {
+  graph::OpArgs args;
+  args.f0 = s;
+  if (Tensor r; ReplayOp(graph::OpKind::kScale, {&a}, args, &r)) return r;
   Tensor out = MakeOutput(a.shape(), {a.impl()});
   const auto& av = a.data();
   auto& ov = out.data();
@@ -166,10 +227,12 @@ Tensor Scale(const Tensor& a, float s) {
       });
     };
   }
+  RecordOp(graph::OpKind::kScale, {&a}, out, args);
   return out;
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
+  graph::UnsupportedOp("AddScalar");
   Tensor out = MakeOutput(a.shape(), {a.impl()});
   const auto& av = a.data();
   auto& ov = out.data();
@@ -187,6 +250,10 @@ Tensor AddScalar(const Tensor& a, float s) {
 }
 
 Tensor AddRowBroadcast(const Tensor& mat, const Tensor& row) {
+  if (Tensor r;
+      ReplayOp(graph::OpKind::kAddRowBroadcast, {&mat, &row}, {}, &r)) {
+    return r;
+  }
   OM_CHECK_EQ(mat.ndim(), 2);
   int rows = mat.dim(0);
   int cols = mat.dim(1);
@@ -232,10 +299,12 @@ Tensor AddRowBroadcast(const Tensor& mat, const Tensor& row) {
       }
     };
   }
+  RecordOp(graph::OpKind::kAddRowBroadcast, {&mat, &row}, out, {});
   return out;
 }
 
 Tensor Relu(const Tensor& x) {
+  if (Tensor r; ReplayOp(graph::OpKind::kRelu, {&x}, {}, &r)) return r;
   Tensor out = MakeOutput(x.shape(), {x.impl()});
   const auto& xv = x.data();
   auto& ov = out.data();
@@ -255,10 +324,12 @@ Tensor Relu(const Tensor& x) {
       });
     };
   }
+  RecordOp(graph::OpKind::kRelu, {&x}, out, {});
   return out;
 }
 
 Tensor LeakyRelu(const Tensor& x, float slope) {
+  graph::UnsupportedOp("LeakyRelu");
   Tensor out = MakeOutput(x.shape(), {x.impl()});
   const auto& xv = x.data();
   auto& ov = out.data();
@@ -284,6 +355,9 @@ Tensor LeakyRelu(const Tensor& x, float slope) {
 }
 
 Tensor Reshape(const Tensor& x, std::vector<int> new_shape) {
+  graph::OpArgs args;
+  args.shape = &new_shape;
+  if (Tensor r; ReplayOp(graph::OpKind::kReshape, {&x}, args, &r)) return r;
   OM_CHECK_EQ(ShapeNumel(new_shape), x.numel())
       << ShapeToString(x.shape()) << " -> " << ShapeToString(new_shape);
   Tensor out = MakeOutput(std::move(new_shape), {x.impl()});
@@ -297,10 +371,13 @@ Tensor Reshape(const Tensor& x, std::vector<int> new_shape) {
       for (size_t i = 0; i < o->grad.size(); ++i) xi->grad[i] += o->grad[i];
     };
   }
+  args.shape = &out.shape();  // new_shape was moved into the output
+  RecordOp(graph::OpKind::kReshape, {&x}, out, args);
   return out;
 }
 
 Tensor Tanh(const Tensor& x) {
+  graph::UnsupportedOp("Tanh");
   Tensor out = MakeOutput(x.shape(), {x.impl()});
   const auto& xv = x.data();
   auto& ov = out.data();
@@ -325,6 +402,7 @@ Tensor Tanh(const Tensor& x) {
 }
 
 Tensor Sigmoid(const Tensor& x) {
+  graph::UnsupportedOp("Sigmoid");
   Tensor out = MakeOutput(x.shape(), {x.impl()});
   const auto& xv = x.data();
   auto& ov = out.data();
@@ -354,6 +432,12 @@ Tensor Dropout(const Tensor& x, float p, bool training, Rng* rng) {
   OM_CHECK(p >= 0.0f && p < 1.0f) << "dropout p=" << p;
   if (!training || p == 0.0f) return x;
   OM_CHECK(rng != nullptr);
+  // Hook after the early return: an identity Dropout issues no op call, in
+  // recording and replay alike.
+  graph::OpArgs args;
+  args.f0 = p;
+  args.rng = rng;
+  if (Tensor r; ReplayOp(graph::OpKind::kDropout, {&x}, args, &r)) return r;
   Tensor out = MakeOutput(x.shape(), {x.impl()});
   const auto& xv = x.data();
   auto& ov = out.data();
@@ -378,10 +462,12 @@ Tensor Dropout(const Tensor& x, float p, bool training, Rng* rng) {
       });
     };
   }
+  RecordOp(graph::OpKind::kDropout, {&x}, out, args);
   return out;
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  if (Tensor r; ReplayOp(graph::OpKind::kMatMul, {&a, &b}, {}, &r)) return r;
   OM_CHECK_EQ(a.ndim(), 2);
   OM_CHECK_EQ(b.ndim(), 2);
   int m = a.dim(0), k = a.dim(1), n = b.dim(1);
@@ -405,10 +491,12 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       }
     };
   }
+  RecordOp(graph::OpKind::kMatMul, {&a, &b}, out, {});
   return out;
 }
 
 Tensor MatMulNT(const Tensor& a, const Tensor& b) {
+  graph::UnsupportedOp("MatMulNT");
   OM_CHECK_EQ(a.ndim(), 2);
   OM_CHECK_EQ(b.ndim(), 2);
   int m = a.dim(0), k = a.dim(1), n = b.dim(0);
@@ -437,6 +525,9 @@ Tensor MatMulNT(const Tensor& a, const Tensor& b) {
 
 Tensor ConcatCols(const std::vector<Tensor>& parts) {
   OM_CHECK(!parts.empty());
+  if (Tensor r; ReplayConcat(graph::OpKind::kConcatCols, parts, &r)) {
+    return r;
+  }
   int rows = parts[0].dim(0);
   int total_cols = 0;
   std::vector<Impl> parents;
@@ -486,11 +577,15 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
       }
     };
   }
+  RecordConcat(graph::OpKind::kConcatCols, parts, out);
   return out;
 }
 
 Tensor ConcatRows(const std::vector<Tensor>& parts) {
   OM_CHECK(!parts.empty());
+  if (Tensor r; ReplayConcat(graph::OpKind::kConcatRows, parts, &r)) {
+    return r;
+  }
   int cols = parts[0].dim(1);
   int total_rows = 0;
   std::vector<Impl> parents;
@@ -525,10 +620,16 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
       }
     };
   }
+  RecordConcat(graph::OpKind::kConcatRows, parts, out);
   return out;
 }
 
 Tensor Gather(const Tensor& table, const std::vector<int>& ids) {
+  graph::OpArgs args;
+  args.ints = &ids;
+  if (Tensor r; ReplayOp(graph::OpKind::kGather, {&table}, args, &r)) {
+    return r;
+  }
   OM_CHECK_EQ(table.ndim(), 2);
   int vocab = table.dim(0);
   int width = table.dim(1);
@@ -582,10 +683,12 @@ Tensor Gather(const Tensor& table, const std::vector<int>& ids) {
       });
     };
   }
+  RecordOp(graph::OpKind::kGather, {&table}, out, args);
   return out;
 }
 
 Tensor MeanRows(const Tensor& x) {
+  graph::UnsupportedOp("MeanRows");
   OM_CHECK_EQ(x.ndim(), 2);
   int rows = x.dim(0);
   int cols = x.dim(1);
@@ -616,6 +719,7 @@ Tensor MeanRows(const Tensor& x) {
 }
 
 Tensor RowSum(const Tensor& x) {
+  graph::UnsupportedOp("RowSum");
   OM_CHECK_EQ(x.ndim(), 2);
   int rows = x.dim(0);
   int cols = x.dim(1);
@@ -645,6 +749,7 @@ Tensor RowSum(const Tensor& x) {
 }
 
 Tensor MeanAxis1(const Tensor& x) {
+  if (Tensor r; ReplayOp(graph::OpKind::kMeanAxis1, {&x}, {}, &r)) return r;
   OM_CHECK_EQ(x.ndim(), 3);
   int batch = x.dim(0);
   int length = x.dim(1);
@@ -691,10 +796,12 @@ Tensor MeanAxis1(const Tensor& x) {
                   });
     };
   }
+  RecordOp(graph::OpKind::kMeanAxis1, {&x}, out, {});
   return out;
 }
 
 Tensor Softmax(const Tensor& x) {
+  graph::UnsupportedOp("Softmax");
   OM_CHECK_EQ(x.ndim(), 2);
   int rows = x.dim(0);
   int cols = x.dim(1);
@@ -747,6 +854,7 @@ Tensor Softmax(const Tensor& x) {
 }
 
 Tensor SumAll(const Tensor& x) {
+  graph::UnsupportedOp("SumAll");
   Tensor out = MakeOutput({1}, {x.impl()});
   const auto& xv = x.data();
   // Serial double accumulation: the canonical fixed-order reduction.
@@ -772,6 +880,11 @@ Tensor MeanAll(const Tensor& x) {
 }
 
 Tensor GradReverse(const Tensor& x, float lambda) {
+  graph::OpArgs args;
+  args.f0 = lambda;
+  if (Tensor r; ReplayOp(graph::OpKind::kGradReverse, {&x}, args, &r)) {
+    return r;
+  }
   Tensor out = MakeOutput(x.shape(), {x.impl()});
   out.data() = x.data();
   if (out.requires_grad()) {
@@ -785,11 +898,18 @@ Tensor GradReverse(const Tensor& x, float lambda) {
       }
     };
   }
+  RecordOp(graph::OpKind::kGradReverse, {&x}, out, args);
   return out;
 }
 
 Tensor TextConvMaxPool(const Tensor& input, const Tensor& weight,
                        const Tensor& bias, int kernel_size) {
+  graph::OpArgs args;
+  args.i0 = kernel_size;
+  if (Tensor r; ReplayOp(graph::OpKind::kTextConvMaxPool,
+                         {&input, &weight, &bias}, args, &r)) {
+    return r;
+  }
   OM_CHECK_EQ(input.ndim(), 3);
   OM_CHECK_EQ(weight.ndim(), 2);
   int batch = input.dim(0);
@@ -901,6 +1021,8 @@ Tensor TextConvMaxPool(const Tensor& input, const Tensor& weight,
       }
     };
   }
+  RecordOp(graph::OpKind::kTextConvMaxPool, {&input, &weight, &bias}, out,
+           args);
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "nn/graph.h"
 
 namespace omnimatch {
 namespace nn {
@@ -163,6 +164,7 @@ void Tensor::Backward() {
   OM_CHECK(defined());
   OM_CHECK_EQ(impl_->data.size(), 1u)
       << "Backward() requires a scalar output";
+  graph::NotifyBackwardRoot(impl_.get());
   std::vector<TensorImpl*> order;
   TopologicalOrder(impl_.get(), &order);
   // Seed d(out)/d(out) = 1, then walk in reverse topological order.
@@ -171,6 +173,15 @@ void Tensor::Backward() {
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     TensorImpl* node = *it;
     if (node->backward_fn) node->backward_fn();
+  }
+  // The tape is single-use: release every visited node's closure and parent
+  // edges now so the step graph dies here instead of living until the next
+  // step's handles drop. Compiled-graph roots keep their installed
+  // backward_fn (it is reused every replayed step).
+  for (TensorImpl* node : order) {
+    if (node->graph_persistent) continue;
+    node->backward_fn = nullptr;
+    node->parents.clear();
   }
 }
 

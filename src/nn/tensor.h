@@ -23,6 +23,9 @@ class TensorImpl {
   /// Gradient buffer; empty until EnsureGrad() is called during backward.
   std::vector<float> grad;
   bool requires_grad = false;
+  /// Set on a compiled-graph root (nn/graph.cc): its backward_fn is the
+  /// compiled backward schedule and must survive Backward()'s tape release.
+  bool graph_persistent = false;
   /// Accumulates gradients from this node into its parents. Set by ops.
   std::function<void()> backward_fn;
   /// Parents in the computation graph (inputs of the op that produced this).
