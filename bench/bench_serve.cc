@@ -1,0 +1,325 @@
+// Online-serving load harness for the inference runtime (src/serve/):
+// trains a small model on a synthetic world, freezes it into a
+// ModelSnapshot, then drives the InferenceServer two ways and reports
+// end-to-end request latency percentiles plus throughput:
+//
+//   * closed loop — N client threads each submit their next request the
+//     moment the previous one returns; measures peak sustainable QPS and
+//     the latency the coalescing adds under saturation.
+//   * open loop — one dispatcher paces ScoreAsync calls at a target
+//     arrival rate; queue wait is charged to the request, so coordinated
+//     omission does not hide linger/batching delays.
+//
+// Percentiles come from the serve.request_ns histogram (geometric buckets,
+// ~10% resolution). Writes a machine-readable BENCH_serve.json.
+//
+//   ./bench_serve [--out=BENCH_serve.json] [--smoke] [--check]
+//                 [--users=200] [--epochs=2] [--clients=4]
+//                 [--requests=4000] [--qps=2000] [--max_batch=32]
+//                 [--linger_us=200] [--cache_capacity=4096]
+//
+// --check turns the run into a self-gating smoke test: the process fails
+// unless every request resolved to a finite score, the histogram saw every
+// request, and the percentiles are ordered.
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdint>
+#include <fstream>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/trainer.h"
+#include "data/splits.h"
+#include "data/synthetic.h"
+#include "obs/metrics.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+
+using namespace omnimatch;
+
+namespace {
+
+struct PhaseResult {
+  std::string name;
+  int clients = 0;        // closed loop only
+  double target_qps = 0;  // open loop only
+  int64_t requests = 0;
+  double wall_s = 0.0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  int64_t batches = 0;
+  double mean_batch = 0.0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  bool all_finite = true;
+};
+
+obs::Histogram* RequestHistogram() {
+  return obs::MetricsRegistry::Global().GetHistogram(
+      "serve.request_ns", obs::Histogram::LatencyBoundsNs());
+}
+
+/// Fills the percentile/throughput fields common to both phases.
+void FinishPhase(PhaseResult* phase, const serve::InferenceServer& server,
+                 int64_t batches_before, int64_t cache_hits_before,
+                 int64_t cache_misses_before,
+                 const std::vector<float>& scores) {
+  obs::Histogram* h = RequestHistogram();
+  phase->requests = h->Count();
+  phase->qps = phase->wall_s > 0 ? static_cast<double>(scores.size()) /
+                                       phase->wall_s
+                                 : 0.0;
+  phase->p50_us = obs::HistogramQuantile(*h, 0.5) / 1e3;
+  phase->p99_us = obs::HistogramQuantile(*h, 0.99) / 1e3;
+  phase->p999_us = obs::HistogramQuantile(*h, 0.999) / 1e3;
+  phase->batches = server.batches_dispatched() - batches_before;
+  phase->mean_batch =
+      phase->batches > 0
+          ? static_cast<double>(scores.size()) / phase->batches
+          : 0.0;
+  phase->cache_hits = server.scorer().cache().hits() - cache_hits_before;
+  phase->cache_misses = server.scorer().cache().misses() - cache_misses_before;
+  for (float s : scores) {
+    if (!std::isfinite(s)) phase->all_finite = false;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  if (!flags.Parse(argc, argv).ok()) return 1;
+  const bool smoke = flags.GetBool("smoke", false);
+  const bool check = flags.GetBool("check", false);
+  std::string out_path = flags.GetString("out", "BENCH_serve.json");
+  const int num_users = flags.GetInt("users", smoke ? 60 : 200);
+  const int epochs = flags.GetInt("epochs", smoke ? 1 : 2);
+  const int clients = flags.GetInt("clients", smoke ? 2 : 4);
+  const int requests = flags.GetInt("requests", smoke ? 300 : 4000);
+  const double target_qps = flags.GetDouble("qps", smoke ? 500.0 : 2000.0);
+  serve::InferenceServer::Options options;
+  options.max_batch = flags.GetInt("max_batch", 32);
+  options.linger_us = flags.GetInt("linger_us", 200);
+  options.cache_capacity =
+      static_cast<size_t>(flags.GetInt("cache_capacity", 4096));
+
+  // --- Train a small model and freeze it into a snapshot ---
+  data::SyntheticConfig world_config;
+  world_config.num_users = num_users;
+  world_config.items_per_domain = num_users / 2;
+  world_config.mean_reviews_per_user = 5;
+  world_config.seed = 11;
+  data::SyntheticWorld world(world_config);
+  data::CrossDomainDataset cross = world.MakePair("Books", "Movies");
+  Rng split_rng(12);
+  data::ColdStartSplit split = data::MakeColdStartSplit(cross, &split_rng);
+
+  core::OmniMatchConfig config;
+  config.embed_dim = 8;
+  config.cnn_channels = 4;
+  config.kernel_sizes = {2, 3};
+  config.feature_dim = 8;
+  config.projection_dim = 4;
+  config.doc_len = 16;
+  config.item_doc_len = 16;
+  config.batch_size = 16;
+  config.epochs = epochs;
+  config.select_best_epoch = false;
+  config.seed = 13;
+
+  core::OmniMatchTrainer trainer(config, &cross, split);
+  if (!trainer.Prepare().ok()) {
+    std::fprintf(stderr, "bench_serve: Prepare failed\n");
+    return 1;
+  }
+  trainer.Train();
+  const std::string ckpt_path = out_path + ".ckpt.omck";
+  if (!trainer.SaveCheckpoint(ckpt_path).ok()) {
+    std::fprintf(stderr, "bench_serve: SaveCheckpoint failed\n");
+    return 1;
+  }
+  Result<std::shared_ptr<const serve::ModelSnapshot>> snapshot =
+      serve::ModelSnapshot::Load(config, &cross, split, ckpt_path);
+  std::remove(ckpt_path.c_str());
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "bench_serve: snapshot load failed: %s\n",
+                 snapshot.status().message().c_str());
+    return 1;
+  }
+  std::shared_ptr<const serve::ModelSnapshot> snap =
+      std::move(snapshot).value();
+
+  // --- Request mix: every split user against random target items ---
+  std::vector<int> req_users = split.train_users;
+  req_users.insert(req_users.end(), split.validation_users.begin(),
+                   split.validation_users.end());
+  req_users.insert(req_users.end(), split.test_users.begin(),
+                   split.test_users.end());
+  const std::vector<int>& items = cross.target().items();
+  if (req_users.empty() || items.empty()) {
+    std::fprintf(stderr, "bench_serve: empty request pool\n");
+    return 1;
+  }
+  Rng mix_rng(99);
+  std::vector<std::pair<int, int>> pool(static_cast<size_t>(requests));
+  for (auto& [user, item] : pool) {
+    user = req_users[mix_rng.UniformU32(
+        static_cast<uint32_t>(req_users.size()))];
+    item = items[mix_rng.UniformU32(static_cast<uint32_t>(items.size()))];
+  }
+
+  serve::InferenceServer server(snap, options);
+  obs::EnableMetrics(true);
+  std::vector<PhaseResult> phases;
+
+  // --- Closed loop: `clients` threads, back-to-back blocking requests ---
+  {
+    obs::MetricsRegistry::Global().ResetAll();
+    int64_t batches0 = server.batches_dispatched();
+    int64_t hits0 = server.scorer().cache().hits();
+    int64_t misses0 = server.scorer().cache().misses();
+    std::vector<float> scores(pool.size(), 0.0f);
+    std::atomic<size_t> next{0};
+    Stopwatch watch;
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&] {
+        for (size_t i = next.fetch_add(1); i < pool.size();
+             i = next.fetch_add(1)) {
+          scores[i] = server.Score(pool[i].first, pool[i].second);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    PhaseResult phase;
+    phase.name = "closed_loop";
+    phase.clients = clients;
+    phase.wall_s = watch.ElapsedSeconds();
+    FinishPhase(&phase, server, batches0, hits0, misses0, scores);
+    phases.push_back(phase);
+  }
+
+  // --- Open loop: paced arrivals at the target rate ---
+  {
+    obs::MetricsRegistry::Global().ResetAll();
+    int64_t batches0 = server.batches_dispatched();
+    int64_t hits0 = server.scorer().cache().hits();
+    int64_t misses0 = server.scorer().cache().misses();
+    std::vector<std::future<float>> futures;
+    futures.reserve(pool.size());
+    const auto start = std::chrono::steady_clock::now();
+    const auto gap = std::chrono::nanoseconds(
+        static_cast<int64_t>(1e9 / std::max(1.0, target_qps)));
+    Stopwatch watch;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      // Scheduled arrival; if the dispatcher falls behind it submits
+      // immediately and the achieved QPS reflects it.
+      std::this_thread::sleep_until(start + gap * i);
+      futures.push_back(server.ScoreAsync(pool[i].first, pool[i].second));
+    }
+    std::vector<float> scores;
+    scores.reserve(futures.size());
+    for (std::future<float>& f : futures) scores.push_back(f.get());
+    PhaseResult phase;
+    phase.name = "open_loop";
+    phase.target_qps = target_qps;
+    phase.wall_s = watch.ElapsedSeconds();
+    FinishPhase(&phase, server, batches0, hits0, misses0, scores);
+    phases.push_back(phase);
+  }
+  server.Shutdown();
+  obs::EnableMetrics(false);
+
+  // --- Report ---
+  std::printf("%-12s %9s %9s %10s %10s %10s %8s %10s %12s\n", "phase",
+              "requests", "qps", "p50_us", "p99_us", "p999_us", "batches",
+              "mean_batch", "cache_hits");
+  for (const PhaseResult& p : phases) {
+    std::printf("%-12s %9lld %9.0f %10.1f %10.1f %10.1f %8lld %10.2f %12lld\n",
+                p.name.c_str(), static_cast<long long>(p.requests), p.qps,
+                p.p50_us, p.p99_us, p.p999_us,
+                static_cast<long long>(p.batches), p.mean_batch,
+                static_cast<long long>(p.cache_hits));
+  }
+
+  std::string json = "{\n  \"schema\": \"omnimatch-bench-serve-v1\",\n";
+  json += StrFormat(
+      "  \"snapshot\": {\"users\": %d, \"vocab\": %d, "
+      "\"version\": \"%016llx\"},\n",
+      num_users, static_cast<int>(snap->vocabulary().size()),
+      static_cast<unsigned long long>(snap->version()));
+  json += StrFormat(
+      "  \"options\": {\"max_batch\": %d, \"linger_us\": %lld, "
+      "\"cache_capacity\": %lld},\n",
+      options.max_batch, static_cast<long long>(options.linger_us),
+      static_cast<long long>(options.cache_capacity));
+  json += "  \"phases\": [\n";
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const PhaseResult& p = phases[i];
+    json += StrFormat(
+        "    {\"name\": \"%s\", \"clients\": %d, \"target_qps\": %.0f, "
+        "\"requests\": %lld, \"wall_s\": %.3f, \"qps\": %.1f, "
+        "\"p50_us\": %.1f, \"p99_us\": %.1f, \"p999_us\": %.1f, "
+        "\"batches\": %lld, \"mean_batch\": %.2f, "
+        "\"cache_hits\": %lld, \"cache_misses\": %lld}%s\n",
+        p.name.c_str(), p.clients, p.target_qps,
+        static_cast<long long>(p.requests), p.wall_s, p.qps, p.p50_us,
+        p.p99_us, p.p999_us, static_cast<long long>(p.batches), p.mean_batch,
+        static_cast<long long>(p.cache_hits),
+        static_cast<long long>(p.cache_misses),
+        i + 1 < phases.size() ? "," : "");
+  }
+  json += "  ]\n}\n";
+  std::ofstream out(out_path);
+  if (!out || !(out << json)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out.close();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (check) {
+    bool ok = true;
+    for (const PhaseResult& p : phases) {
+      if (p.requests != static_cast<int64_t>(pool.size())) {
+        std::fprintf(stderr,
+                     "CHECK FAILED: %s: histogram saw %lld of %lld requests\n",
+                     p.name.c_str(), static_cast<long long>(p.requests),
+                     static_cast<long long>(pool.size()));
+        ok = false;
+      }
+      if (!p.all_finite) {
+        std::fprintf(stderr, "CHECK FAILED: %s: non-finite score returned\n",
+                     p.name.c_str());
+        ok = false;
+      }
+      if (!(p.p50_us > 0.0) || p.p50_us > p.p99_us + 1e-9 ||
+          p.p99_us > p.p999_us + 1e-9) {
+        std::fprintf(stderr,
+                     "CHECK FAILED: %s: percentiles not ordered "
+                     "(p50=%.1f p99=%.1f p999=%.1f)\n",
+                     p.name.c_str(), p.p50_us, p.p99_us, p.p999_us);
+        ok = false;
+      }
+      if (p.batches <= 0) {
+        std::fprintf(stderr, "CHECK FAILED: %s: no batches dispatched\n",
+                     p.name.c_str());
+        ok = false;
+      }
+    }
+    if (!ok) return 1;
+    std::printf("serve check passed\n");
+  }
+  return 0;
+}

@@ -25,17 +25,24 @@ run_release() {
   # meaningful on loaded CI runners.
   ./build/bench/bench_graph --reps=3 --check_speedup_min=1.0 \
     --out=build/BENCH_graph.json
+  echo "=== Serving runtime smoke benchmark ==="
+  # Self-checking: fails unless every request resolved to a finite score,
+  # the latency histogram saw all of them, and percentiles are ordered.
+  ./build/bench/bench_serve --smoke --check \
+    --out=build/BENCH_serve.json
 }
 
 # Sanitizer configs only build the test tree (benchmarks and examples add
 # nothing to coverage and double the build time). TSan exercises the thread
 # pool, the blocked GEMM, every parallel op, the recorded-graph executor
-# (record/replay/arena, in nn_test), and the sharded metrics / trace-ring
-# concurrency tests through common_test/nn_test/obs_test; ASan and UBSan
-# additionally run the trainer-level suites — including the fault-injection
-# tests and the graph-vs-eager trainer equivalence tests, so every guard
-# rollback/retry path and the compiled replay path are walked under
-# instrumentation.
+# (record/replay/arena, in nn_test), the sharded metrics / trace-ring
+# concurrency tests through common_test/nn_test/obs_test, and the inference
+# server's request-thread/executor/cache handoffs through serve_test (the
+# concurrent-submitter bit-identity test is the interesting one); ASan and
+# UBSan additionally run the trainer-level suites — including the
+# fault-injection tests and the graph-vs-eager trainer equivalence tests,
+# so every guard rollback/retry path and the compiled replay path are
+# walked under instrumentation.
 run_sanitizer() {
   local kind="$1" dir="build-$1" ; shift
   echo "=== ${kind} build (${dir}) ==="
@@ -52,14 +59,14 @@ run_sanitizer() {
 
 case "${MODE}" in
   release) run_release ;;
-  tsan)    run_sanitizer thread common_test nn_test obs_test ;;
-  asan)    run_sanitizer address common_test nn_test core_test obs_test ;;
-  ubsan)   run_sanitizer undefined common_test nn_test core_test obs_test ;;
+  tsan)    run_sanitizer thread common_test nn_test obs_test serve_test ;;
+  asan)    run_sanitizer address common_test nn_test core_test obs_test serve_test ;;
+  ubsan)   run_sanitizer undefined common_test nn_test core_test obs_test serve_test ;;
   all)
     run_release
-    run_sanitizer thread common_test nn_test obs_test
-    run_sanitizer address common_test nn_test core_test obs_test
-    run_sanitizer undefined common_test nn_test core_test obs_test
+    run_sanitizer thread common_test nn_test obs_test serve_test
+    run_sanitizer address common_test nn_test core_test obs_test serve_test
+    run_sanitizer undefined common_test nn_test core_test obs_test serve_test
     ;;
   *) echo "usage: $0 [all|release|tsan|asan|ubsan]" >&2 ; exit 2 ;;
 esac

@@ -51,11 +51,9 @@ std::vector<std::string> AuxReviewGenerator::GenerateForUser(
         like_minded_t.push_back(v);
       }
     }
-    // A user can appear once per matching record; Algorithm 1 uses a set.
-    std::sort(like_minded_t.begin(), like_minded_t.end());
-    like_minded_t.erase(
-        std::unique(like_minded_t.begin(), like_minded_t.end()),
-        like_minded_t.end());
+    // UsersWhoRated() buckets are sorted and duplicate-free (built that way
+    // by BuildIndices), and the eligibility filter preserves order — so
+    // like_minded_t is already the set Algorithm 1 draws from.
     choice.num_like_minded = static_cast<int>(like_minded_t.size());
 
     if (!like_minded_t.empty()) {

@@ -123,6 +123,23 @@ class OmniMatchTrainer {
   }
   OmniMatchModel* model() { return model_.get(); }
   const data::ColdStartSplit& split() const { return split_; }
+  /// Fixed evaluation-time documents, exposed read-only so an inference
+  /// snapshot (src/serve) can be exported without re-deriving them.
+  const std::unordered_map<int, std::vector<int>>& user_source_docs() const {
+    return user_source_docs_;
+  }
+  const std::unordered_map<int, std::vector<int>>& user_target_docs() const {
+    return user_target_docs_;
+  }
+  const std::unordered_map<int, std::vector<int>>& item_docs() const {
+    return item_docs_;
+  }
+  /// Extra auxiliary-document samples per cold user (aux_eval_samples - 1
+  /// of them; the first sample lives in user_target_docs()).
+  const std::unordered_map<int, std::vector<std::vector<int>>>&
+  cold_aux_doc_variants() const {
+    return cold_aux_doc_variants_;
+  }
   /// Null unless the trainer was Prepared with config.graph_exec.
   const nn::graph::GraphExecutor* graph_executor() const {
     return graph_exec_.get();

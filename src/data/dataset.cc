@@ -10,9 +10,11 @@ namespace data {
 
 namespace {
 long long ItemRatingKey(int item_id, float rating) {
-  int r = static_cast<int>(std::lround(rating));
-  OM_CHECK(r >= 0 && r <= 7) << "rating out of key range: " << rating;
-  return static_cast<long long>(item_id) * 8 + r;
+  // Half-step buckets: 4.5 and 5.0 must key differently (Algorithm 1's
+  // "same rating" is exact, and half-star ratings are legal inputs).
+  int r = static_cast<int>(std::lround(rating * 2.0f));
+  OM_CHECK(r >= 0 && r <= 15) << "rating out of key range: " << rating;
+  return static_cast<long long>(item_id) * 16 + r;
 }
 }  // namespace
 
@@ -42,6 +44,14 @@ void DomainDataset::BuildIndices() {
     item_records_[r.item_id].push_back(static_cast<int>(i));
     item_rating_users_[ItemRatingKey(r.item_id, r.rating)].push_back(
         r.user_id);
+  }
+  // A user who reviewed the same item with the same rating twice must still
+  // appear once per bucket: Algorithm 1 samples like-minded users uniformly,
+  // so duplicates would skew the draw. Sorted buckets are also what
+  // AuxReviewGenerator's deterministic candidate lists rely on.
+  for (auto& [_, users] : item_rating_users_) {
+    std::sort(users.begin(), users.end());
+    users.erase(std::unique(users.begin(), users.end()), users.end());
   }
   users_.reserve(user_records_.size());
   for (const auto& [uid, _] : user_records_) users_.push_back(uid);

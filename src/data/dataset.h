@@ -53,7 +53,10 @@ class DomainDataset {
   const std::vector<int>& RecordsOfItem(int item_id) const;
 
   /// The like-minded lookup: users who rated `item_id` exactly `rating`.
-  /// Empty if none.
+  /// Ratings match at half-star resolution (4.5 and 5.0 are distinct
+  /// buckets). The returned list is sorted ascending and duplicate-free —
+  /// a user appears once even if they reviewed the item with that rating
+  /// several times. Empty if none.
   const std::vector<int>& UsersWhoRated(int item_id, float rating) const;
 
   /// Mean rating across all records (the mu fallback of rating baselines).
@@ -72,7 +75,9 @@ class DomainDataset {
   std::vector<int> items_;
   std::unordered_map<int, std::vector<int>> user_records_;
   std::unordered_map<int, std::vector<int>> item_records_;
-  /// key = item_id * 8 + rating-as-int (ratings are 1..5).
+  /// key = item_id * 16 + lround(rating * 2): half-step rating buckets, so
+  /// half-star ratings never collide with their neighbours. Each bucket is
+  /// sorted and deduplicated by BuildIndices().
   std::unordered_map<long long, std::vector<int>> item_rating_users_;
 
   static const std::vector<int>& EmptyVector();

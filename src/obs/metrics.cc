@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 
@@ -113,6 +114,51 @@ void Histogram::Reset() {
 
 std::vector<double> Histogram::DefaultDurationBoundsNs() {
   return {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10};
+}
+
+std::vector<double> Histogram::LatencyBoundsNs() {
+  // Geometric 1e3 .. 1e10 ns, 24 buckets per decade: 7 decades * 24 + 1
+  // edges. Ratio 10^(1/24) ~= 1.1007, so quantile interpolation error is
+  // bounded at ~10% of the value.
+  std::vector<double> bounds;
+  bounds.reserve(7 * 24 + 1);
+  const double ratio = std::pow(10.0, 1.0 / 24.0);
+  double b = 1e3;
+  for (int i = 0; i <= 7 * 24; ++i) {
+    bounds.push_back(b);
+    b *= ratio;
+  }
+  return bounds;
+}
+
+double HistogramQuantile(const Histogram& h, double q) {
+  q = std::min(1.0, std::max(0.0, q));
+  const std::vector<int64_t> counts = h.BucketCounts();
+  const std::vector<double>& bounds = h.bounds();
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  // Rank of the target observation (1-based), then walk the buckets.
+  const double rank = q * static_cast<double>(total);
+  int64_t cumulative = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const int64_t next = cumulative + counts[b];
+    if (static_cast<double>(next) >= rank) {
+      if (b >= bounds.size()) {
+        // +inf bucket: no finite upper bound to interpolate towards.
+        return bounds.empty() ? 0.0 : bounds.back();
+      }
+      const double lo = b == 0 ? 0.0 : bounds[b - 1];
+      const double hi = bounds[b];
+      const double frac =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(counts[b]);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+    }
+    cumulative = next;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
 }
 
 MetricsRegistry& MetricsRegistry::Global() {

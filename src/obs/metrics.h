@@ -111,6 +111,12 @@ class Histogram {
   /// Default duration buckets in nanoseconds: 1us .. 10s, decades.
   static std::vector<double> DefaultDurationBoundsNs();
 
+  /// Fine-grained latency buckets in nanoseconds: geometric from 1us to
+  /// 10s at 24 buckets per decade (~10% relative resolution). Use these
+  /// for request-latency histograms where p99/p999 quantiles are read back
+  /// via HistogramQuantile — the decade-only defaults are too coarse.
+  static std::vector<double> LatencyBoundsNs();
+
  private:
   struct Shard {
     std::unique_ptr<std::atomic<int64_t>[]> buckets;  // bounds + inf
@@ -122,6 +128,14 @@ class Histogram {
   std::vector<double> bounds_;
   std::unique_ptr<Shard[]> shards_;
 };
+
+/// Quantile estimate from a histogram's bucket counts: finds the bucket the
+/// q-th observation (q in [0, 1]) falls in and interpolates linearly inside
+/// it. The first bucket interpolates from 0; the +inf tail bucket returns
+/// its lower bound (the largest finite upper bound). Returns 0 for an empty
+/// histogram. Accuracy is bounded by bucket width — pair with
+/// Histogram::LatencyBoundsNs() for ~10% relative error.
+double HistogramQuantile(const Histogram& h, double q);
 
 /// Process-global name -> instrument registry. Get* registers on first use
 /// and returns a stable pointer (instruments are never destroyed); cache it

@@ -1,0 +1,87 @@
+#include "serve/cache.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace omnimatch {
+namespace serve {
+
+namespace {
+obs::Counter* HitCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("serve.cache_hits");
+  return c;
+}
+obs::Counter* MissCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("serve.cache_misses");
+  return c;
+}
+obs::Counter* EvictionCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("serve.cache_evictions");
+  return c;
+}
+}  // namespace
+
+UserEmbeddingCache::UserEmbeddingCache(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {}
+
+std::shared_ptr<const UserEntry> UserEmbeddingCache::Get(
+    uint64_t snapshot_version, int user_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(Key{snapshot_version, user_id});
+  if (it == index_.end()) {
+    ++misses_;
+    MissCounter()->Increment();
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  HitCounter()->Increment();
+  return it->second->entry;
+}
+
+void UserEmbeddingCache::Put(uint64_t snapshot_version, int user_id,
+                             std::shared_ptr<const UserEntry> entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Key key{snapshot_version, user_id};
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->entry = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Node{key, std::move(entry)});
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+    EvictionCounter()->Increment();
+  }
+}
+
+size_t UserEmbeddingCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+int64_t UserEmbeddingCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+int64_t UserEmbeddingCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+int64_t UserEmbeddingCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+}  // namespace serve
+}  // namespace omnimatch

@@ -1,0 +1,96 @@
+#ifndef OMNIMATCH_SERVE_CACHE_H_
+#define OMNIMATCH_SERVE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace omnimatch {
+namespace serve {
+
+/// A user's precomputed target-side representations — the expensive part of
+/// a request (the TextCNN forward over the user document dominates; the
+/// per-item tail is two small GEMMs). One row per ensemble pass; row k is
+/// the [2f] user representation from the k-th auxiliary document. For
+/// hybrid inference, hybrid_rows[k] is [source-invariant ⊕ k-th target
+/// specific]. `fallback` entries carry no rows: the user had no usable
+/// documents at all and is served the global mean rating.
+struct UserEntry {
+  std::vector<std::vector<float>> rep_rows;
+  std::vector<std::vector<float>> hybrid_rows;  // empty unless hybrid
+  bool fallback = false;
+  /// True when the documents were generated online at admission (user
+  /// unknown to the snapshot) rather than frozen in it.
+  bool cold_admitted = false;
+  int passes() const {
+    return fallback ? 0 : static_cast<int>(rep_rows.size());
+  }
+};
+
+/// LRU cache of UserEntry keyed by (snapshot version, user id). Keying on
+/// the version means a cache surviving a snapshot swap can never serve
+/// stale representations: old entries simply miss and age out.
+///
+/// Thread-safe (one mutex — the cache is consulted once per request by the
+/// server's executor thread, so contention is nil; the lock exists so
+/// tests and future multi-executor setups stay correct). Entries are
+/// shared_ptr<const ...>: a looked-up entry stays valid even if evicted
+/// mid-use.
+class UserEmbeddingCache {
+ public:
+  /// `capacity` = max resident entries; at least 1.
+  explicit UserEmbeddingCache(size_t capacity);
+
+  /// Returns the entry and refreshes its recency, or nullptr on miss.
+  std::shared_ptr<const UserEntry> Get(uint64_t snapshot_version, int user_id);
+
+  /// Inserts (or replaces) an entry as most-recent, evicting the least
+  /// recently used entry when over capacity.
+  void Put(uint64_t snapshot_version, int user_id,
+           std::shared_ptr<const UserEntry> entry);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  int64_t hits() const;
+  int64_t misses() const;
+  int64_t evictions() const;
+
+ private:
+  struct Key {
+    uint64_t version;
+    int user;
+    bool operator==(const Key& o) const {
+      return version == o.version && user == o.user;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = k.version ^ (static_cast<uint64_t>(
+                                    static_cast<uint32_t>(k.user)) *
+                                0x9E3779B97F4A7C15ULL);
+      h ^= h >> 29;
+      return static_cast<size_t>(h);
+    }
+  };
+  struct Node {
+    Key key;
+    std::shared_ptr<const UserEntry> entry;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Node> lru_;  // front = most recent
+  std::unordered_map<Key, std::list<Node>::iterator, KeyHash> index_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace serve
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_SERVE_CACHE_H_

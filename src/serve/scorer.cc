@@ -1,0 +1,346 @@
+#include "serve/scorer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "nn/tensor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace omnimatch {
+namespace serve {
+
+using core::OmniMatchModel;
+using nn::Tensor;
+
+namespace {
+
+/// Admission/extraction chunk sizes. Every forward here is row-independent
+/// (blocked GEMM accumulates each output element over K in a fixed order,
+/// conv/pooling are per-row, dropout is a no-op in eval), so chunking
+/// changes wall-clock shape but never a single output bit.
+constexpr int kExtractChunkRows = 256;
+constexpr int kHeadChunkRows = 1024;
+
+obs::Counter* ColdAdmissions() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("serve.cold_admissions");
+  return c;
+}
+obs::Counter* Admissions() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("serve.admissions");
+  return c;
+}
+obs::Counter* FallbackScores() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("serve.fallback_scores");
+  return c;
+}
+obs::Histogram* ScoreBatchHist() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.score_batch_ns", obs::Histogram::LatencyBoundsNs());
+  return h;
+}
+obs::Histogram* AdmitHist() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.admit_ns", obs::Histogram::LatencyBoundsNs());
+  return h;
+}
+
+/// Copies row `row` of a [B, width] tensor into `dst` (appending).
+void AppendRow(const Tensor& t, int row, std::vector<float>* dst) {
+  const std::vector<float>& data = t.data();
+  const int width = t.dim(1);
+  const float* src = data.data() + static_cast<size_t>(row) * width;
+  dst->insert(dst->end(), src, src + width);
+}
+
+}  // namespace
+
+Scorer::Scorer(std::shared_ptr<const ModelSnapshot> snapshot,
+               size_t cache_capacity)
+    : snapshot_(std::move(snapshot)), cache_(cache_capacity) {
+  OM_CHECK(snapshot_ != nullptr);
+}
+
+std::vector<std::shared_ptr<const UserEntry>> Scorer::GetOrAdmit(
+    const std::vector<int>& users) {
+  const uint64_t version = snapshot_->version();
+  std::vector<std::shared_ptr<const UserEntry>> out(users.size());
+
+  /// Users missing from the cache, with their per-pass target documents.
+  struct Pending {
+    size_t slot = 0;  // index into `users` / `out`
+    std::vector<const std::vector<int>*> docs;
+    std::vector<std::vector<int>> owned_docs;  // online-generated storage
+    bool cold = false;
+  };
+  std::vector<Pending> pending;
+  for (size_t i = 0; i < users.size(); ++i) {
+    out[i] = cache_.Get(version, users[i]);
+    if (out[i] != nullptr) continue;
+    Pending p;
+    p.slot = i;
+    const auto& target_docs = snapshot_->user_target_docs();
+    auto it = target_docs.find(users[i]);
+    if (it != target_docs.end()) {
+      // Frozen documents: the trainer's primary document plus its ensemble
+      // variants, exactly the rows PredictBatch would gather.
+      p.docs.push_back(&it->second);
+      const auto& variants = snapshot_->cold_aux_doc_variants();
+      auto vit = variants.find(users[i]);
+      if (vit != variants.end()) {
+        for (const std::vector<int>& doc : vit->second) p.docs.push_back(&doc);
+      }
+    } else {
+      // Unknown user: Algorithm 1 online, at admission time.
+      p.owned_docs = snapshot_->BuildColdUserDocs(users[i]);
+      if (p.owned_docs.empty()) {
+        auto entry = std::make_shared<UserEntry>();
+        entry->fallback = true;
+        cache_.Put(version, users[i], entry);
+        out[i] = std::move(entry);
+        continue;
+      }
+      p.cold = true;
+      for (const std::vector<int>& doc : p.owned_docs) p.docs.push_back(&doc);
+    }
+    pending.push_back(std::move(p));
+  }
+  if (pending.empty()) return out;
+
+  obs::TraceSpan span("serve.admit", AdmitHist());
+  const core::OmniMatchConfig& config = snapshot_->config();
+  OmniMatchModel* model = snapshot_->model();
+  const int doc_len = config.doc_len;
+
+  // Flatten every (user, pass) document into one row list, then extract in
+  // chunks — row independence makes the chunked batch bit-identical to any
+  // other batching of the same rows.
+  std::vector<std::pair<size_t, int>> row_owner;  // (pending idx, pass)
+  for (size_t p = 0; p < pending.size(); ++p) {
+    for (size_t k = 0; k < pending[p].docs.size(); ++k) {
+      row_owner.emplace_back(p, static_cast<int>(k));
+    }
+  }
+  std::vector<std::shared_ptr<UserEntry>> entries(pending.size());
+  for (size_t p = 0; p < pending.size(); ++p) {
+    entries[p] = std::make_shared<UserEntry>();
+    entries[p]->cold_admitted = pending[p].cold;
+    entries[p]->rep_rows.resize(pending[p].docs.size());
+    if (config.use_hybrid_inference) {
+      entries[p]->hybrid_rows.resize(pending[p].docs.size());
+    }
+  }
+
+  std::vector<std::vector<float>> specific_rows(row_owner.size());
+  for (size_t begin = 0; begin < row_owner.size();
+       begin += kExtractChunkRows) {
+    const size_t end =
+        std::min(row_owner.size(), begin + kExtractChunkRows);
+    std::vector<int> flat;
+    flat.reserve((end - begin) * static_cast<size_t>(doc_len));
+    for (size_t r = begin; r < end; ++r) {
+      const std::vector<int>& doc =
+          *pending[row_owner[r].first].docs[static_cast<size_t>(
+              row_owner[r].second)];
+      OM_CHECK_EQ(doc.size(), static_cast<size_t>(doc_len));
+      flat.insert(flat.end(), doc.begin(), doc.end());
+    }
+    OmniMatchModel::UserFeatures feat = model->ExtractUser(
+        data::DomainSide::kTarget, flat, static_cast<int>(end - begin));
+    for (size_t r = begin; r < end; ++r) {
+      const int local = static_cast<int>(r - begin);
+      std::vector<float>& rep =
+          entries[row_owner[r].first]
+              ->rep_rows[static_cast<size_t>(row_owner[r].second)];
+      // r = invariant ⊕ specific (UserRepresentation / Eq. 10) — plain
+      // concatenation, so assembling it from the feature rows is exact.
+      AppendRow(feat.invariant, local, &rep);
+      AppendRow(feat.specific, local, &rep);
+      if (config.use_hybrid_inference) {
+        AppendRow(feat.specific, local, &specific_rows[r]);
+      }
+    }
+  }
+
+  if (config.use_hybrid_inference) {
+    // One source-side row per pending user; unknown users gather the pad
+    // document (the trainer's GatherDocs fallback).
+    for (size_t begin = 0; begin < pending.size();
+         begin += kExtractChunkRows) {
+      const size_t end =
+          std::min(pending.size(), begin + kExtractChunkRows);
+      std::vector<int> flat;
+      flat.reserve((end - begin) * static_cast<size_t>(doc_len));
+      for (size_t p = begin; p < end; ++p) {
+        const auto& source_docs = snapshot_->user_source_docs();
+        auto it = source_docs.find(users[pending[p].slot]);
+        const std::vector<int>& doc =
+            it != source_docs.end() ? it->second : snapshot_->pad_user_doc();
+        flat.insert(flat.end(), doc.begin(), doc.end());
+      }
+      OmniMatchModel::UserFeatures src = model->ExtractUser(
+          data::DomainSide::kSource, flat, static_cast<int>(end - begin));
+      for (size_t p = begin; p < end; ++p) {
+        std::vector<float> inv_row;
+        AppendRow(src.invariant, static_cast<int>(p - begin), &inv_row);
+        for (size_t k = 0; k < entries[p]->hybrid_rows.size(); ++k) {
+          entries[p]->hybrid_rows[k] = inv_row;
+        }
+      }
+    }
+    // hybrid = source-invariant ⊕ target-specific (the trainer's hybrid
+    // readout input).
+    for (size_t r = 0; r < row_owner.size(); ++r) {
+      std::vector<float>& row =
+          entries[row_owner[r].first]
+              ->hybrid_rows[static_cast<size_t>(row_owner[r].second)];
+      row.insert(row.end(), specific_rows[r].begin(), specific_rows[r].end());
+    }
+  }
+
+  for (size_t p = 0; p < pending.size(); ++p) {
+    Admissions()->Increment();
+    if (pending[p].cold) ColdAdmissions()->Increment();
+    cache_.Put(version, users[pending[p].slot], entries[p]);
+    out[pending[p].slot] = std::move(entries[p]);
+  }
+  return out;
+}
+
+std::vector<float> Scorer::ScoreBatch(
+    const std::vector<ScoreRequest>& requests) {
+  if (requests.empty()) return {};
+  obs::TraceSpan span("serve.score_batch", ScoreBatchHist());
+  const core::OmniMatchConfig& config = snapshot_->config();
+  OmniMatchModel* model = snapshot_->model();
+  model->set_training(false);
+
+  // Distinct users (order-preserving), one cache lookup / admission each.
+  std::vector<int> users;
+  std::unordered_map<int, size_t> user_slot;
+  for (const ScoreRequest& r : requests) {
+    if (user_slot.emplace(r.user, users.size()).second) {
+      users.push_back(r.user);
+    }
+  }
+  std::vector<std::shared_ptr<const UserEntry>> entries = GetOrAdmit(users);
+
+  std::vector<float> preds(requests.size(), 0.0f);
+
+  // Item representations, one extractor row per DISTINCT item in the batch
+  // (row independence again: the shared row is bit-identical to the
+  // per-request row the trainer would compute).
+  std::vector<int> items;
+  std::unordered_map<int, size_t> item_slot;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const UserEntry& entry = *entries[user_slot[requests[i].user]];
+    if (entry.fallback) continue;
+    if (item_slot.emplace(requests[i].item, items.size()).second) {
+      items.push_back(requests[i].item);
+    }
+  }
+  std::vector<std::vector<float>> item_rows(items.size());
+  for (size_t begin = 0; begin < items.size(); begin += kExtractChunkRows) {
+    const size_t end = std::min(items.size(), begin + kExtractChunkRows);
+    std::vector<int> flat;
+    flat.reserve((end - begin) * static_cast<size_t>(config.item_doc_len));
+    for (size_t i = begin; i < end; ++i) {
+      const auto& docs = snapshot_->item_docs();
+      auto it = docs.find(items[i]);
+      const std::vector<int>& doc =
+          it != docs.end() ? it->second : snapshot_->pad_item_doc();
+      flat.insert(flat.end(), doc.begin(), doc.end());
+    }
+    Tensor rep = model->ExtractItem(flat, static_cast<int>(end - begin));
+    for (size_t i = begin; i < end; ++i) {
+      AppendRow(rep, static_cast<int>(i - begin), &item_rows[i]);
+    }
+  }
+
+  // Assemble the rating-head rows: per request, pass 0..N in order, plain
+  // readout then (when enabled) the hybrid readout — the exact accumulation
+  // order of PredictBatch on a batch of one.
+  const int readouts = config.use_hybrid_inference ? 2 : 1;
+  const int classes = config.num_rating_classes;
+  std::vector<const std::vector<float>*> head_user_rows;
+  std::vector<const std::vector<float>*> head_item_rows;
+  std::vector<size_t> head_request;
+  std::vector<float> weight(requests.size(), 0.0f);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const UserEntry& entry = *entries[user_slot[requests[i].user]];
+    if (entry.fallback) {
+      preds[i] = snapshot_->global_mean_rating();
+      FallbackScores()->Increment();
+      continue;
+    }
+    const std::vector<float>& item_row =
+        item_rows[item_slot[requests[i].item]];
+    const int passes = entry.passes();
+    weight[i] = 1.0f / static_cast<float>(passes * readouts);
+    for (int k = 0; k < passes; ++k) {
+      head_user_rows.push_back(&entry.rep_rows[static_cast<size_t>(k)]);
+      head_item_rows.push_back(&item_row);
+      head_request.push_back(i);
+      if (config.use_hybrid_inference) {
+        head_user_rows.push_back(&entry.hybrid_rows[static_cast<size_t>(k)]);
+        head_item_rows.push_back(&item_row);
+        head_request.push_back(i);
+      }
+    }
+  }
+  if (head_user_rows.empty()) return preds;
+
+  const int user_width = static_cast<int>(head_user_rows[0]->size());
+  const int item_width = static_cast<int>(head_item_rows[0]->size());
+  for (size_t begin = 0; begin < head_user_rows.size();
+       begin += kHeadChunkRows) {
+    const size_t end =
+        std::min(head_user_rows.size(), begin + kHeadChunkRows);
+    const int rows = static_cast<int>(end - begin);
+    std::vector<float> user_data, item_data;
+    user_data.reserve(static_cast<size_t>(rows) * user_width);
+    item_data.reserve(static_cast<size_t>(rows) * item_width);
+    for (size_t r = begin; r < end; ++r) {
+      user_data.insert(user_data.end(), head_user_rows[r]->begin(),
+                       head_user_rows[r]->end());
+      item_data.insert(item_data.end(), head_item_rows[r]->begin(),
+                       head_item_rows[r]->end());
+    }
+    Tensor logits = model->RatingLogits(
+        Tensor::FromData({rows, user_width}, std::move(user_data)),
+        Tensor::FromData({rows, item_width}, std::move(item_data)));
+    // Softmax-expected rating per row, accumulated exactly like the
+    // trainer: max-subtracted exp in double, final product in float.
+    for (int r = 0; r < rows; ++r) {
+      float max_v = logits.At(r, 0);
+      for (int c = 1; c < classes; ++c) {
+        max_v = std::max(max_v, logits.At(r, c));
+      }
+      double sum = 0.0, weighted = 0.0;
+      for (int c = 0; c < classes; ++c) {
+        double e = std::exp(static_cast<double>(logits.At(r, c)) - max_v);
+        sum += e;
+        weighted += e * (c + 1);
+      }
+      const size_t req = head_request[begin + static_cast<size_t>(r)];
+      preds[req] += weight[req] * static_cast<float>(weighted / sum);
+    }
+  }
+  return preds;
+}
+
+float Scorer::Score(int user, int item) {
+  ScoreRequest r;
+  r.user = user;
+  r.item = item;
+  return ScoreBatch({r})[0];
+}
+
+}  // namespace serve
+}  // namespace omnimatch

@@ -1,0 +1,68 @@
+#ifndef OMNIMATCH_SERVE_SCORER_H_
+#define OMNIMATCH_SERVE_SCORER_H_
+
+#include <memory>
+#include <vector>
+
+#include "serve/cache.h"
+#include "serve/snapshot.h"
+
+namespace omnimatch {
+namespace serve {
+
+/// One (user, item) scoring request.
+struct ScoreRequest {
+  int user = -1;
+  int item = -1;
+};
+
+/// Evaluates (user, item) requests against a ModelSnapshot, mirroring the
+/// trainer's evaluation math bit-for-bit (see DESIGN.md "Serving"):
+/// expected rating = mean over the auxiliary-document ensemble of
+/// softmax-expected ratings, computed per row in double exactly like
+/// OmniMatchTrainer::PredictBatch.
+///
+/// The per-user target representations — the TextCNN forward that dominates
+/// request cost — are computed once at admission and held in an LRU cache
+/// keyed by (snapshot version, user id); per request only the item
+/// extractor (amortized over distinct items in the batch) and the small
+/// rating-head GEMMs run. Users unknown to the snapshot are admitted by
+/// running Algorithm 1 online against the dataset indices; users with no
+/// source records at all are served the global mean rating (the trainer's
+/// PredictRating fallback).
+///
+/// NOT thread-safe: the model forward is stateful, so ScoreBatch must be
+/// called from one thread at a time (the InferenceServer's executor).
+/// Kernel-level parallelism comes from the compute thread pool.
+class Scorer {
+ public:
+  Scorer(std::shared_ptr<const ModelSnapshot> snapshot, size_t cache_capacity);
+
+  /// Scores every request; results are positionally aligned with
+  /// `requests`. Batching is purely a throughput optimization: each result
+  /// is bit-identical to Score() on the same pair, which in turn matches
+  /// the trainer's PredictRating for users the snapshot holds frozen
+  /// documents for.
+  std::vector<float> ScoreBatch(const std::vector<ScoreRequest>& requests);
+
+  /// Convenience single-request scoring.
+  float Score(int user, int item);
+
+  const ModelSnapshot& snapshot() const { return *snapshot_; }
+  const UserEmbeddingCache& cache() const { return cache_; }
+  UserEmbeddingCache& mutable_cache() { return cache_; }
+
+ private:
+  /// Looks up each user's entry, computing and admitting the missing ones
+  /// in one batched extractor pass. Returns entries aligned with `users`.
+  std::vector<std::shared_ptr<const UserEntry>> GetOrAdmit(
+      const std::vector<int>& users);
+
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+  UserEmbeddingCache cache_;
+};
+
+}  // namespace serve
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_SERVE_SCORER_H_

@@ -1,0 +1,172 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace omnimatch {
+namespace serve {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+obs::Counter* RequestCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("serve.requests");
+  return c;
+}
+obs::Counter* BatchCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("serve.batches");
+  return c;
+}
+obs::Histogram* RequestHist() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.request_ns", obs::Histogram::LatencyBoundsNs());
+  return h;
+}
+obs::Histogram* QueueWaitHist() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.queue_wait_ns", obs::Histogram::LatencyBoundsNs());
+  return h;
+}
+obs::Histogram* BatchSizeHist() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.batch_size",
+      std::vector<double>{1, 2, 4, 8, 16, 32, 64, 128, 256});
+  return h;
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(
+    std::shared_ptr<const ModelSnapshot> snapshot, const Options& options)
+    : options_(options),
+      scorer_(std::make_unique<Scorer>(std::move(snapshot),
+                                       options.cache_capacity)) {
+  OM_CHECK_GE(options_.max_batch, 1);
+  OM_CHECK_GE(options_.linger_us, 0);
+  executor_ = std::thread([this] { ExecutorLoop(); });
+}
+
+InferenceServer::~InferenceServer() { Shutdown(); }
+
+std::future<float> InferenceServer::ScoreAsync(int user, int item) {
+  Pending p;
+  p.user = user;
+  p.item = item;
+  p.enqueue_ns = NowNs();
+  std::future<float> result = p.result.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    OM_CHECK(!stopping_) << "ScoreAsync after Shutdown";
+    queue_.push_back(std::move(p));
+  }
+  cv_.notify_all();
+  return result;
+}
+
+float InferenceServer::Score(int user, int item) {
+  return ScoreAsync(user, item).get();
+}
+
+void InferenceServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  // Never joined under the lock: the executor needs it to drain and exit.
+  if (executor_.joinable()) executor_.join();
+}
+
+void InferenceServer::ExecutorLoop() {
+  std::vector<Pending> batch;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty() && stopping_) return;
+      if (static_cast<int>(queue_.size()) < options_.max_batch &&
+          !stopping_ && options_.linger_us > 0) {
+        // Linger is measured from the OLDEST request's arrival, not from
+        // when the executor noticed it: a request never waits more than
+        // linger_us for co-batchees regardless of executor scheduling.
+        const int64_t remaining_ns = options_.linger_us * 1000 -
+                                     (NowNs() - queue_.front().enqueue_ns);
+        if (remaining_ns > 0) {
+          cv_.wait_for(lock, std::chrono::nanoseconds(remaining_ns), [this] {
+            return stopping_ ||
+                   static_cast<int>(queue_.size()) >= options_.max_batch;
+          });
+        }
+      }
+      const int take = std::min<int>(options_.max_batch,
+                                     static_cast<int>(queue_.size()));
+      batch.clear();
+      batch.reserve(static_cast<size_t>(take));
+      for (int i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    if (!batch.empty()) RunBatch(&batch);
+  }
+}
+
+void InferenceServer::RunBatch(std::vector<Pending>* batch) {
+  const int64_t start_ns = NowNs();
+  const bool metrics = obs::MetricsEnabled();
+  if (metrics) {
+    BatchCounter()->Increment();
+    BatchSizeHist()->Observe(static_cast<double>(batch->size()));
+    for (const Pending& p : *batch) {
+      QueueWaitHist()->Observe(static_cast<double>(start_ns - p.enqueue_ns));
+    }
+  }
+
+  std::vector<ScoreRequest> requests(batch->size());
+  for (size_t i = 0; i < batch->size(); ++i) {
+    requests[i].user = (*batch)[i].user;
+    requests[i].item = (*batch)[i].item;
+  }
+  std::vector<float> preds = scorer_->ScoreBatch(requests);
+  OM_CHECK_EQ(preds.size(), batch->size());
+
+  const int64_t end_ns = NowNs();
+  for (size_t i = 0; i < batch->size(); ++i) {
+    if (metrics) {
+      RequestCounter()->Increment();
+      RequestHist()->Observe(
+          static_cast<double>(end_ns - (*batch)[i].enqueue_ns));
+    }
+    (*batch)[i].result.set_value(preds[i]);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    requests_served_ += static_cast<int64_t>(batch->size());
+    ++batches_dispatched_;
+  }
+}
+
+int64_t InferenceServer::requests_served() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return requests_served_;
+}
+
+int64_t InferenceServer::batches_dispatched() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_dispatched_;
+}
+
+}  // namespace serve
+}  // namespace omnimatch

@@ -1,0 +1,103 @@
+#ifndef OMNIMATCH_SERVE_SERVER_H_
+#define OMNIMATCH_SERVE_SERVER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/scorer.h"
+#include "serve/snapshot.h"
+
+namespace omnimatch {
+namespace serve {
+
+/// The online inference runtime: concurrent request threads submit
+/// (user, item) pairs; a single executor thread coalesces them into
+/// GEMM-friendly micro-batches and drives the Scorer.
+///
+/// Batching semantics (see DESIGN.md "Serving"): an arriving request is
+/// appended to the queue. The executor dispatches a batch as soon as
+/// max_batch requests are waiting, or when the OLDEST waiting request has
+/// lingered linger_us microseconds — whichever comes first. An idle
+/// executor picks up a lone request after at most one linger, so the
+/// worst-case added latency is bounded while bursts still coalesce.
+///
+/// Results are bit-identical to unbatched scoring: every kernel on the
+/// scoring path is row-independent, so batch composition never changes a
+/// result (this is also what makes the user-embedding cache sound).
+///
+/// Thread-safety: Score/ScoreAsync may be called from any number of
+/// threads. The scorer and model are touched only by the executor thread.
+class InferenceServer {
+ public:
+  struct Options {
+    /// Max requests per dispatched batch.
+    int max_batch = 32;
+    /// Max time the oldest queued request waits before dispatch, in
+    /// microseconds. 0 = dispatch whatever is queued immediately.
+    int64_t linger_us = 200;
+    /// User-embedding cache capacity (entries).
+    size_t cache_capacity = 4096;
+  };
+
+  InferenceServer(std::shared_ptr<const ModelSnapshot> snapshot,
+                  const Options& options);
+  /// Drains the queue and joins the executor.
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Blocking request: enqueues and waits for the batch it lands in.
+  float Score(int user, int item);
+
+  /// Non-blocking request; the future resolves when the request's batch
+  /// completes. Invalid after Shutdown().
+  std::future<float> ScoreAsync(int user, int item);
+
+  /// Stops accepting requests, scores everything still queued, and joins
+  /// the executor. Idempotent (the destructor runs it too) but not safe to
+  /// call from two threads concurrently.
+  void Shutdown();
+
+  const Scorer& scorer() const { return *scorer_; }
+  Scorer& mutable_scorer() { return *scorer_; }
+  const Options& options() const { return options_; }
+
+  /// Requests scored and batches dispatched since construction.
+  int64_t requests_served() const;
+  int64_t batches_dispatched() const;
+
+ private:
+  struct Pending {
+    int user = -1;
+    int item = -1;
+    std::promise<float> result;
+    int64_t enqueue_ns = 0;
+  };
+
+  void ExecutorLoop();
+  /// Scores one dispatched batch and fulfills its promises.
+  void RunBatch(std::vector<Pending>* batch);
+
+  const Options options_;
+  std::unique_ptr<Scorer> scorer_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  int64_t requests_served_ = 0;
+  int64_t batches_dispatched_ = 0;
+
+  std::thread executor_;
+};
+
+}  // namespace serve
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_SERVE_SERVER_H_

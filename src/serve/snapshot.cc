@@ -1,0 +1,159 @@
+#include "serve/snapshot.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "core/checkpoint.h"
+#include "core/trainer.h"
+#include "nn/tensor.h"
+#include "text/document.h"
+#include "text/tokenizer.h"
+
+namespace omnimatch {
+namespace serve {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Snapshot identity: the config fingerprint already pins architecture,
+/// seed and data-shaping switches; folding in the checkpoint's progress
+/// counters distinguishes successive checkpoints of the same run.
+uint64_t SnapshotVersion(uint64_t fingerprint, int32_t epochs, int64_t steps,
+                         bool used_best_params) {
+  uint64_t v = SplitMix64(fingerprint);
+  v = SplitMix64(v ^ static_cast<uint64_t>(epochs));
+  v = SplitMix64(v ^ static_cast<uint64_t>(steps));
+  v = SplitMix64(v ^ (used_best_params ? 0x5eedULL : 0));
+  return v;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Load(
+    const core::OmniMatchConfig& config, const data::CrossDomainDataset* cross,
+    data::ColdStartSplit split, const std::string& checkpoint_path,
+    const Options& options) {
+  OM_CHECK(cross != nullptr);
+
+  // Rebuild the training run's derived state (vocabulary, fixed documents,
+  // model architecture) by Prepare()-ing a throwaway trainer: the document
+  // pipeline consumes the trainer's seeded RNG, so running the identical
+  // code path is the only way to get bit-identical documents.
+  core::OmniMatchTrainer trainer(config, cross, std::move(split));
+  OM_RETURN_IF_ERROR(trainer.Prepare());
+
+  Result<core::CheckpointState> loaded =
+      core::LoadCheckpointFile(checkpoint_path);
+  if (!loaded.ok()) return loaded.status();
+  core::CheckpointState state = std::move(loaded).value();
+
+  if (state.config_fingerprint != config.Fingerprint()) {
+    return Status::InvalidArgument(
+        checkpoint_path +
+        ": checkpoint was written under a different config (fingerprint "
+        "mismatch)");
+  }
+  const bool use_best = options.prefer_best_params && !state.best_params.empty();
+  std::vector<std::vector<float>>& chosen =
+      use_best ? state.best_params : state.params;
+
+  auto snapshot = std::shared_ptr<ModelSnapshot>(new ModelSnapshot());
+  snapshot->config_ = config;
+  snapshot->cross_ = cross;
+  snapshot->global_mean_rating_ = cross->target().GlobalMeanRating();
+  snapshot->vocab_ = trainer.vocabulary();
+  snapshot->aux_generator_ = std::make_unique<core::AuxReviewGenerator>(
+      cross, trainer.split().train_users, config.text_field);
+  snapshot->user_source_docs_ = trainer.user_source_docs();
+  snapshot->user_target_docs_ = trainer.user_target_docs();
+  snapshot->item_docs_ = trainer.item_docs();
+  snapshot->cold_aux_doc_variants_ = trainer.cold_aux_doc_variants();
+  snapshot->pad_user_doc_.assign(static_cast<size_t>(config.doc_len),
+                                 text::Vocabulary::kPadId);
+  snapshot->pad_item_doc_.assign(static_cast<size_t>(config.item_doc_len),
+                                 text::Vocabulary::kPadId);
+
+  // A fresh model of the same architecture; its random initialization is
+  // immediately overwritten by the checkpoint's parameters.
+  Rng init_rng(config.seed);
+  snapshot->model_ = std::make_unique<core::OmniMatchModel>(
+      config, snapshot->vocab_.size(), &init_rng);
+  std::vector<nn::Tensor> params = snapshot->model_->Parameters();
+  if (chosen.size() != params.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: checkpoint holds %zu parameter tensors, model has %zu",
+        checkpoint_path.c_str(), chosen.size(), params.size()));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (chosen[i].size() != params[i].data().size()) {
+      return Status::InvalidArgument(StrFormat(
+          "%s: parameter %zu has %zu values, model expects %zu",
+          checkpoint_path.c_str(), i, chosen[i].size(),
+          params[i].data().size()));
+    }
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].data() = std::move(chosen[i]);
+    // Inference never backpropagates; dropping requires_grad keeps the
+    // forward pass from recording an autograd tape. The math is untouched.
+    params[i].set_requires_grad(false);
+  }
+  snapshot->model_->set_training(false);
+
+  snapshot->version_ = SnapshotVersion(state.config_fingerprint,
+                                       state.epochs_completed, state.steps,
+                                       use_best);
+  return std::shared_ptr<const ModelSnapshot>(std::move(snapshot));
+}
+
+Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Load(
+    const core::OmniMatchConfig& config, const data::CrossDomainDataset* cross,
+    data::ColdStartSplit split, const std::string& checkpoint_path) {
+  return Load(config, cross, std::move(split), checkpoint_path, Options());
+}
+
+std::vector<std::vector<int>> ModelSnapshot::BuildColdUserDocs(
+    int user_id) const {
+  const data::DomainDataset& source = cross_->source();
+  const std::vector<int>& records = source.RecordsOfUser(user_id);
+  if (records.empty()) return {};
+
+  auto source_texts = [&]() {
+    std::vector<std::string> texts;
+    for (int idx : records) {
+      const data::Review& r = source.reviews()[idx];
+      texts.push_back(config_.text_field == core::TextField::kSummary
+                          ? r.summary
+                          : r.full_text);
+    }
+    return texts;
+  };
+
+  // Seeded from (snapshot version, user id): admission is deterministic per
+  // snapshot, independent of request order and of which replica serves it.
+  Rng rng(version_ ^ SplitMix64(static_cast<uint64_t>(
+                         static_cast<uint32_t>(user_id))));
+  int samples = std::max(1, config_.aux_eval_samples);
+  if (!config_.use_aux_reviews) samples = 1;
+
+  std::vector<std::vector<int>> docs;
+  docs.reserve(static_cast<size_t>(samples));
+  for (int k = 0; k < samples; ++k) {
+    std::vector<std::string> reviews =
+        config_.use_aux_reviews ? aux_generator_->GenerateForUser(user_id, &rng)
+                                : source_texts();
+    if (reviews.empty()) reviews = source_texts();
+    docs.push_back(text::BuildDocumentIds(reviews, vocab_, config_.doc_len));
+  }
+  return docs;
+}
+
+}  // namespace serve
+}  // namespace omnimatch

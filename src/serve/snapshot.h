@@ -1,0 +1,138 @@
+#ifndef OMNIMATCH_SERVE_SNAPSHOT_H_
+#define OMNIMATCH_SERVE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/aux_review.h"
+#include "core/config.h"
+#include "core/model.h"
+#include "data/dataset.h"
+#include "data/splits.h"
+#include "text/vocabulary.h"
+
+namespace omnimatch {
+namespace serve {
+
+/// Read-only inference state loaded from an OMCK checkpoint: model
+/// parameters (the best-epoch snapshot when present), the vocabulary, and
+/// the fixed evaluation-time documents — nothing trainable, no optimizer
+/// accumulators, no RNG streams (eval never draws).
+///
+/// Immutability contract (see DESIGN.md "Serving"): after Load() returns,
+/// no member of a ModelSnapshot is ever written again, so const references
+/// may be shared freely across threads. The one caveat is the model's
+/// *forward pass*, which builds ephemeral activation state inside the
+/// shared module objects — scoring must therefore be serialized on a single
+/// thread (the InferenceServer's executor); intra-batch parallelism comes
+/// from the compute thread pool inside the kernels.
+///
+/// Versioning: version() is a stable digest of the config fingerprint and
+/// the checkpoint's epoch/step counters. The user-embedding cache keys on
+/// it, so entries from an older snapshot can never serve a newer one after
+/// a swap.
+class ModelSnapshot {
+ public:
+  struct Options {
+    /// Use the checkpoint's best-epoch parameters when it carries them
+    /// (select_best_epoch runs); fall back to the live parameters
+    /// otherwise.
+    bool prefer_best_params = true;
+  };
+
+  /// Loads a snapshot for serving the given scenario. `cross` must outlive
+  /// the snapshot (the dataset indices back online Algorithm 1 admission).
+  /// Rebuilds vocabulary and documents exactly as the training run did
+  /// (same config, same split, same seed => bit-identical documents), then
+  /// installs the checkpoint's parameters. Fails with InvalidArgument on a
+  /// fingerprint or shape mismatch, propagates I/O and corruption errors
+  /// from the checkpoint reader.
+  static Result<std::shared_ptr<const ModelSnapshot>> Load(
+      const core::OmniMatchConfig& config,
+      const data::CrossDomainDataset* cross, data::ColdStartSplit split,
+      const std::string& checkpoint_path, const Options& options);
+  /// Load with default Options (an overload because a nested struct's
+  /// default member initializers cannot back a default argument inside the
+  /// enclosing class).
+  static Result<std::shared_ptr<const ModelSnapshot>> Load(
+      const core::OmniMatchConfig& config,
+      const data::CrossDomainDataset* cross, data::ColdStartSplit split,
+      const std::string& checkpoint_path);
+
+  /// Stable identity of (config, checkpoint progress); cache key component.
+  uint64_t version() const { return version_; }
+
+  const core::OmniMatchConfig& config() const { return config_; }
+  const data::CrossDomainDataset* cross() const { return cross_; }
+  const text::Vocabulary& vocabulary() const { return vocab_; }
+  const core::AuxReviewGenerator& aux_generator() const {
+    return *aux_generator_;
+  }
+
+  /// The target domain's global mean rating — the scoring fallback for
+  /// users the model has no usable representation for.
+  float global_mean_rating() const { return global_mean_rating_; }
+
+  /// Frozen evaluation documents (bit-identical to the trainer's).
+  const std::unordered_map<int, std::vector<int>>& user_source_docs() const {
+    return user_source_docs_;
+  }
+  const std::unordered_map<int, std::vector<int>>& user_target_docs() const {
+    return user_target_docs_;
+  }
+  const std::unordered_map<int, std::vector<int>>& item_docs() const {
+    return item_docs_;
+  }
+  const std::unordered_map<int, std::vector<std::vector<int>>>&
+  cold_aux_doc_variants() const {
+    return cold_aux_doc_variants_;
+  }
+
+  /// All-pad documents for unknown users/items (the trainer's GatherDocs
+  /// fallback).
+  const std::vector<int>& pad_user_doc() const { return pad_user_doc_; }
+  const std::vector<int>& pad_item_doc() const { return pad_item_doc_; }
+
+  /// Runs Algorithm 1 online for a user the snapshot has no frozen target
+  /// documents for, against the pre-built dataset indices. Deterministic:
+  /// the RNG is seeded from (version, user_id), so the same user admitted
+  /// twice — or on two replicas serving the same snapshot — gets the same
+  /// documents. Returns aux_eval_samples documents (first = primary,
+  /// rest = ensemble variants); each falls back to the user's raw source
+  /// reviews when Algorithm 1 finds no like-minded match (the trainer's
+  /// fallback). Empty result when the user has no source records at all.
+  std::vector<std::vector<int>> BuildColdUserDocs(int user_id) const;
+
+  /// The loaded model. Logically const — parameters are frozen — but the
+  /// forward pass is stateful (see class comment): call only from one
+  /// scoring thread at a time.
+  core::OmniMatchModel* model() const { return model_.get(); }
+
+ private:
+  ModelSnapshot() = default;
+
+  core::OmniMatchConfig config_;
+  const data::CrossDomainDataset* cross_ = nullptr;
+  uint64_t version_ = 0;
+  float global_mean_rating_ = 0.0f;
+
+  text::Vocabulary vocab_;
+  std::unique_ptr<core::AuxReviewGenerator> aux_generator_;
+  std::unique_ptr<core::OmniMatchModel> model_;
+
+  std::unordered_map<int, std::vector<int>> user_source_docs_;
+  std::unordered_map<int, std::vector<int>> user_target_docs_;
+  std::unordered_map<int, std::vector<int>> item_docs_;
+  std::unordered_map<int, std::vector<std::vector<int>>>
+      cold_aux_doc_variants_;
+  std::vector<int> pad_user_doc_;
+  std::vector<int> pad_item_doc_;
+};
+
+}  // namespace serve
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_SERVE_SNAPSHOT_H_

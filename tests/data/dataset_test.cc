@@ -64,6 +64,44 @@ TEST(DomainDatasetTest, UsersWhoRatedIsTheLikeMindedDictionary) {
   EXPECT_TRUE(d.UsersWhoRated(404, 5.0f).empty());
 }
 
+TEST(DomainDatasetTest, UsersWhoRatedDeduplicatesRepeatReviewers) {
+  // Regression: a user who reviews the same item with the same rating
+  // several times used to appear once per review, skewing Algorithm 1's
+  // uniform like-minded draw towards repeat reviewers.
+  DomainDataset d("Books");
+  d.AddReview(MakeReview(7, 10, 5));
+  d.AddReview(MakeReview(7, 10, 5));
+  d.AddReview(MakeReview(7, 10, 5));
+  d.AddReview(MakeReview(3, 10, 5));
+  d.BuildIndices();
+  EXPECT_EQ(d.UsersWhoRated(10, 5.0f), (std::vector<int>{3, 7}));
+}
+
+TEST(DomainDatasetTest, UsersWhoRatedIsSortedAscending) {
+  DomainDataset d("Books");
+  d.AddReview(MakeReview(9, 10, 2));
+  d.AddReview(MakeReview(1, 10, 2));
+  d.AddReview(MakeReview(5, 10, 2));
+  d.BuildIndices();
+  EXPECT_EQ(d.UsersWhoRated(10, 2.0f), (std::vector<int>{1, 5, 9}));
+}
+
+TEST(DomainDatasetTest, HalfStarRatingsKeySeparately) {
+  // Regression: the (item, rating) key used to round to whole stars, so
+  // 4.5 and 5.0 shared a bucket and Algorithm 1's "same rating" match
+  // silently merged them.
+  DomainDataset d("Books");
+  d.AddReview(MakeReview(0, 10, 4.5f));
+  d.AddReview(MakeReview(1, 10, 5.0f));
+  d.AddReview(MakeReview(2, 10, 4.5f));
+  d.AddReview(MakeReview(3, 10, 4.0f));
+  d.BuildIndices();
+  EXPECT_EQ(d.UsersWhoRated(10, 4.5f), (std::vector<int>{0, 2}));
+  EXPECT_EQ(d.UsersWhoRated(10, 5.0f), (std::vector<int>{1}));
+  EXPECT_EQ(d.UsersWhoRated(10, 4.0f), (std::vector<int>{3}));
+  EXPECT_TRUE(d.UsersWhoRated(10, 3.5f).empty());
+}
+
 TEST(DomainDatasetTest, GlobalMeanRating) {
   DomainDataset d = SmallDomain();
   EXPECT_FLOAT_EQ(d.GlobalMeanRating(), (5 + 3 + 5 + 4 + 3) / 5.0f);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 #include <thread>
 #include <vector>
@@ -173,6 +174,46 @@ TEST_F(MetricsTest, RenderJsonLinesShapes) {
 TEST_F(MetricsTest, WriteJsonLinesFailsOnBadPath) {
   EXPECT_FALSE(MetricsRegistry::Global().WriteJsonLines(
       "/nonexistent_dir_for_metrics_test/out.jsonl"));
+}
+
+TEST_F(MetricsTest, LatencyBoundsAreFineGrainedAndAscending) {
+  std::vector<double> bounds = Histogram::LatencyBoundsNs();
+  ASSERT_EQ(bounds.size(), 7u * 24u + 1u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e3);
+  EXPECT_NEAR(bounds.back(), 1e10, 1e10 * 1e-9);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]);
+    // ~10% relative resolution throughout (ratio 10^(1/24)).
+    EXPECT_NEAR(bounds[i] / bounds[i - 1], std::pow(10.0, 1.0 / 24.0), 1e-9);
+  }
+}
+
+TEST_F(MetricsTest, HistogramQuantileInterpolatesWithinBuckets) {
+  Histogram h({10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.5), 0.0);  // empty
+  // 10 observations uniform in (10, 20]: the bucket holds everything.
+  for (int i = 0; i < 10; ++i) h.Observe(15.0);
+  // All mass in bucket (10, 20]: q=0.5 lands at its midpoint.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 1.0), 20.0);
+  EXPECT_LE(HistogramQuantile(h, 0.0), 11.0);
+}
+
+TEST_F(MetricsTest, HistogramQuantileAcrossBuckets) {
+  Histogram h({1.0, 2.0, 4.0});
+  // 2 obs in (0,1], 1 in (1,2], 1 in (2,4].
+  h.Observe(0.5);
+  h.Observe(0.5);
+  h.Observe(1.5);
+  h.Observe(3.0);
+  // Rank 2 of 4 = the upper edge of the first bucket.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.5), 1.0);
+  // Rank 3 of 4 = the (1,2] bucket's single observation → its upper edge.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.75), 2.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 1.0), 4.0);
+  // Tail bucket observations clamp to the largest finite bound.
+  h.Observe(100.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 1.0), 4.0);
 }
 
 }  // namespace

@@ -1,0 +1,401 @@
+// Serving runtime tests: snapshot load + bit-identity against the trainer's
+// evaluation path, LRU cache behavior, deterministic online cold-start
+// admission, and micro-batch coalescing under concurrent submitters (this
+// suite runs in the TSan lane — see scripts/check.sh).
+
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "data/splits.h"
+#include "data/synthetic.h"
+#include "serve/cache.h"
+#include "serve/scorer.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+
+namespace omnimatch {
+namespace serve {
+namespace {
+
+core::OmniMatchConfig TinyModel() {
+  core::OmniMatchConfig config;
+  config.embed_dim = 8;
+  config.cnn_channels = 4;
+  config.kernel_sizes = {2, 3};
+  config.feature_dim = 8;
+  config.projection_dim = 4;
+  config.doc_len = 16;
+  config.item_doc_len = 16;
+  config.batch_size = 16;
+  config.epochs = 2;
+  // The snapshot must hold exactly the parameters the live trainer scores
+  // with, so skip best-epoch selection (which would freeze an earlier
+  // epoch's weights into the checkpoint).
+  config.select_best_epoch = false;
+  config.seed = 31;
+  return config;
+}
+
+/// One trained world shared by every test: training even the tiny model is
+/// the dominant cost, so do it once. The trainer stays alive to provide the
+/// PredictRating reference values.
+struct ServeWorld {
+  data::CrossDomainDataset cross;
+  data::ColdStartSplit split;
+  core::OmniMatchConfig config;
+  std::unique_ptr<core::OmniMatchTrainer> trainer;
+  std::string checkpoint_path;
+  std::shared_ptr<const ModelSnapshot> snapshot;
+  /// A source-only user: has source-domain records but no entry in the
+  /// snapshot's frozen target documents (the online-admission case).
+  int source_only_user = -1;
+};
+
+ServeWorld* BuildWorld() {
+  auto* w = new ServeWorld();
+  data::SyntheticConfig world_config;
+  world_config.num_users = 60;
+  world_config.items_per_domain = 30;
+  world_config.mean_reviews_per_user = 5;
+  world_config.participation = 0.8;  // leaves some source-only users
+  world_config.seed = 21;
+  data::SyntheticWorld world(world_config);
+  w->cross = world.MakePair("Books", "Movies");
+  Rng split_rng(7);
+  w->split = data::MakeColdStartSplit(w->cross, &split_rng);
+  w->config = TinyModel();
+
+  w->trainer = std::make_unique<core::OmniMatchTrainer>(w->config, &w->cross,
+                                                        w->split);
+  EXPECT_TRUE(w->trainer->Prepare().ok());
+  w->trainer->Train();
+  w->checkpoint_path = testing::TempDir() + "/serve_test.omck";
+  EXPECT_TRUE(w->trainer->SaveCheckpoint(w->checkpoint_path).ok());
+
+  Result<std::shared_ptr<const ModelSnapshot>> loaded = ModelSnapshot::Load(
+      w->config, &w->cross, w->split, w->checkpoint_path);
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+  w->snapshot = loaded.value();
+
+  std::unordered_set<int> target_users(w->cross.target().users().begin(),
+                                       w->cross.target().users().end());
+  for (int u : w->cross.source().users()) {
+    if (target_users.count(u) == 0) {
+      w->source_only_user = u;
+      break;
+    }
+  }
+  EXPECT_GE(w->source_only_user, 0)
+      << "synthetic world has no source-only user; lower participation";
+  return w;
+}
+
+ServeWorld& World() {
+  static ServeWorld* world = BuildWorld();
+  return *world;
+}
+
+/// A spread of (user, item) pairs: cold test users, train users, several
+/// items per user (the second item per user exercises the cache-hit path).
+std::vector<ScoreRequest> ReferencePairs() {
+  ServeWorld& w = World();
+  std::vector<ScoreRequest> pairs;
+  const std::vector<int>& items = w.cross.target().items();
+  auto add_users = [&](const std::vector<int>& users, size_t count) {
+    for (size_t i = 0; i < std::min(count, users.size()); ++i) {
+      for (size_t j = 0; j < 3; ++j) {
+        pairs.push_back(
+            {users[i], items[(i * 3 + j * 7) % items.size()]});
+      }
+    }
+  };
+  add_users(w.split.test_users, 4);
+  add_users(w.split.validation_users, 2);
+  add_users(w.split.train_users, 4);
+  return pairs;
+}
+
+TEST(ModelSnapshotTest, LoadRejectsFingerprintMismatch) {
+  ServeWorld& w = World();
+  core::OmniMatchConfig other = w.config;
+  other.seed = w.config.seed + 1;
+  Result<std::shared_ptr<const ModelSnapshot>> loaded =
+      ModelSnapshot::Load(other, &w.cross, w.split, w.checkpoint_path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ModelSnapshotTest, LoadRejectsMissingFile) {
+  ServeWorld& w = World();
+  Result<std::shared_ptr<const ModelSnapshot>> loaded = ModelSnapshot::Load(
+      w.config, &w.cross, w.split, testing::TempDir() + "/nonexistent.omck");
+  ASSERT_FALSE(loaded.ok());
+}
+
+TEST(ScorerTest, BitIdenticalToTrainerEvalPath) {
+  ServeWorld& w = World();
+  Scorer scorer(w.snapshot, /*cache_capacity=*/256);
+  for (const ScoreRequest& p : ReferencePairs()) {
+    const float expected = w.trainer->PredictRating(p.user, p.item);
+    const float got = scorer.Score(p.user, p.item);
+    // Exact equality: the serving path must reproduce the trainer's eval
+    // math bit-for-bit, cached representations and re-batching included.
+    ASSERT_EQ(expected, got) << "user " << p.user << " item " << p.item;
+  }
+}
+
+TEST(ScorerTest, BatchedScoringMatchesUnbatched) {
+  ServeWorld& w = World();
+  std::vector<ScoreRequest> pairs = ReferencePairs();
+
+  Scorer unbatched(w.snapshot, 256);
+  std::vector<float> one_by_one;
+  for (const ScoreRequest& p : pairs) {
+    one_by_one.push_back(unbatched.Score(p.user, p.item));
+  }
+  Scorer batched(w.snapshot, 256);
+  std::vector<float> all_at_once = batched.ScoreBatch(pairs);
+  ASSERT_EQ(one_by_one.size(), all_at_once.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(one_by_one[i], all_at_once[i]) << "pair " << i;
+  }
+}
+
+TEST(ScorerTest, UnknownUserWithoutRecordsGetsGlobalMean) {
+  ServeWorld& w = World();
+  Scorer scorer(w.snapshot, 16);
+  const int no_such_user = 1000000;
+  const int item = w.cross.target().items().front();
+  EXPECT_EQ(w.snapshot->global_mean_rating(), scorer.Score(no_such_user, item));
+  // The trainer's PredictRating falls back identically.
+  EXPECT_EQ(w.trainer->PredictRating(no_such_user, item),
+            scorer.Score(no_such_user, item));
+}
+
+TEST(ScorerTest, ColdAdmissionIsDeterministic) {
+  ServeWorld& w = World();
+  const int user = w.source_only_user;
+  const int item_a = w.cross.target().items()[0];
+  const int item_b = w.cross.target().items()[1];
+
+  Scorer first(w.snapshot, 16);
+  const float score_a = first.Score(user, item_a);
+  const float score_b = first.Score(user, item_b);
+  EXPECT_GE(score_a, 1.0f);
+  EXPECT_LE(score_a, 5.0f);
+
+  // A fresh scorer (empty cache) admits the same user again: the admission
+  // RNG is seeded from (snapshot version, user id), so the regenerated
+  // documents — and every score — are identical.
+  Scorer second(w.snapshot, 16);
+  EXPECT_EQ(score_b, second.Score(user, item_b));
+  EXPECT_EQ(score_a, second.Score(user, item_a));
+
+  // The docs themselves are reproducible too.
+  EXPECT_EQ(w.snapshot->BuildColdUserDocs(user),
+            w.snapshot->BuildColdUserDocs(user));
+}
+
+TEST(UserEmbeddingCacheTest, LruEvictionAndHitAccounting) {
+  auto entry = [] {
+    auto e = std::make_shared<UserEntry>();
+    e->rep_rows = {{1.0f}};
+    return e;
+  };
+  UserEmbeddingCache cache(2);
+  const uint64_t v = 99;
+  EXPECT_EQ(nullptr, cache.Get(v, 1));  // miss
+  cache.Put(v, 1, entry());
+  cache.Put(v, 2, entry());
+  EXPECT_EQ(2u, cache.size());
+  EXPECT_NE(nullptr, cache.Get(v, 1));  // hit; 1 becomes most-recent
+  cache.Put(v, 3, entry());             // evicts 2 (LRU)
+  EXPECT_EQ(2u, cache.size());
+  EXPECT_EQ(nullptr, cache.Get(v, 2));  // miss: evicted
+  EXPECT_NE(nullptr, cache.Get(v, 1));
+  EXPECT_NE(nullptr, cache.Get(v, 3));
+  // A different snapshot version never hits the old entries.
+  EXPECT_EQ(nullptr, cache.Get(v + 1, 1));
+
+  EXPECT_EQ(3, cache.hits());
+  EXPECT_EQ(3, cache.misses());
+  EXPECT_EQ(1, cache.evictions());
+}
+
+TEST(ScorerTest, CacheHitsAccountedAcrossRequests) {
+  ServeWorld& w = World();
+  Scorer scorer(w.snapshot, 256);
+  const int user = w.split.test_users[0];
+  const std::vector<int>& items = w.cross.target().items();
+  scorer.Score(user, items[0]);  // admission: one miss
+  scorer.Score(user, items[1]);  // cached representation: one hit
+  scorer.Score(user, items[2]);
+  EXPECT_EQ(1, scorer.cache().misses());
+  EXPECT_EQ(2, scorer.cache().hits());
+  EXPECT_EQ(1u, scorer.cache().size());
+}
+
+TEST(ScorerTest, EvictionForcesBitIdenticalRecompute) {
+  ServeWorld& w = World();
+  const int item = w.cross.target().items()[0];
+  Scorer scorer(w.snapshot, /*cache_capacity=*/1);
+  const int user_a = w.split.test_users[0];
+  const int user_b = w.split.test_users[1];
+  const float first = scorer.Score(user_a, item);
+  scorer.Score(user_b, item);  // capacity 1: evicts user_a
+  EXPECT_EQ(1, scorer.cache().evictions());
+  // Recomputed-after-eviction representation scores identically.
+  EXPECT_EQ(first, scorer.Score(user_a, item));
+}
+
+TEST(InferenceServerTest, CoalescesBurstIntoFewBatches) {
+  ServeWorld& w = World();
+  InferenceServer::Options options;
+  options.max_batch = 32;
+  options.linger_us = 100000;  // 100ms: far above the enqueue loop's cost
+  InferenceServer server(w.snapshot, options);
+
+  std::vector<ScoreRequest> pairs = ReferencePairs();
+  std::vector<std::future<float>> futures;
+  for (const ScoreRequest& p : pairs) {
+    futures.push_back(server.ScoreAsync(p.user, p.item));
+  }
+  std::vector<float> got;
+  for (auto& f : futures) got.push_back(f.get());
+  server.Shutdown();
+
+  EXPECT_EQ(static_cast<int64_t>(pairs.size()), server.requests_served());
+  // The whole burst was enqueued within one linger window, so it must have
+  // coalesced into at most a couple of dispatches (exactly one when the
+  // executor saw the full queue; two if it woke mid-enqueue).
+  EXPECT_LE(server.batches_dispatched(), 2);
+
+  Scorer reference(w.snapshot, 256);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(reference.Score(pairs[i].user, pairs[i].item), got[i])
+        << "pair " << i;
+  }
+}
+
+TEST(InferenceServerTest, ConcurrentSubmittersGetBitIdenticalScores) {
+  ServeWorld& w = World();
+  std::vector<ScoreRequest> pairs = ReferencePairs();
+
+  // Reference values, computed single-threaded BEFORE the server exists
+  // (the snapshot's model forward must not run on two threads at once).
+  std::vector<float> expected;
+  {
+    Scorer reference(w.snapshot, 256);
+    for (const ScoreRequest& p : pairs) {
+      expected.push_back(reference.Score(p.user, p.item));
+    }
+  }
+
+  InferenceServer::Options options;
+  options.max_batch = 8;
+  options.linger_us = 500;
+  options.cache_capacity = 8;  // small: forces evictions under load
+  InferenceServer server(w.snapshot, options);
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 5;
+  std::vector<std::vector<float>> results(
+      kThreads, std::vector<float>(pairs.size() * kRounds, 0.0f));
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        // Each thread walks the pairs at a different stride so concurrent
+        // batches mix users and items.
+        for (size_t i = 0; i < pairs.size(); ++i) {
+          const size_t idx = (i * (t + 1) + round) % pairs.size();
+          results[t][round * pairs.size() + i] =
+              server.Score(pairs[idx].user, pairs[idx].item);
+        }
+      }
+    });
+  }
+  for (std::thread& th : submitters) th.join();
+  server.Shutdown();
+
+  EXPECT_EQ(static_cast<int64_t>(kThreads * kRounds * pairs.size()),
+            server.requests_served());
+  for (int t = 0; t < kThreads; ++t) {
+    for (int round = 0; round < kRounds; ++round) {
+      for (size_t i = 0; i < pairs.size(); ++i) {
+        const size_t idx = (i * (t + 1) + round) % pairs.size();
+        ASSERT_EQ(expected[idx], results[t][round * pairs.size() + i])
+            << "thread " << t << " round " << round << " pair " << idx;
+      }
+    }
+  }
+}
+
+TEST(InferenceServerTest, ShutdownDrainsQueuedRequests) {
+  ServeWorld& w = World();
+  InferenceServer::Options options;
+  options.max_batch = 4;
+  options.linger_us = 1000000;  // 1s: requests would linger without drain
+  auto server = std::make_unique<InferenceServer>(w.snapshot, options);
+  std::vector<std::future<float>> futures;
+  const std::vector<ScoreRequest> pairs = ReferencePairs();
+  for (size_t i = 0; i < 6 && i < pairs.size(); ++i) {
+    futures.push_back(server->ScoreAsync(pairs[i].user, pairs[i].item));
+  }
+  server->Shutdown();  // must score everything still queued
+  for (auto& f : futures) {
+    const float score = f.get();
+    EXPECT_GE(score, 1.0f);
+    EXPECT_LE(score, 5.0f);
+  }
+}
+
+TEST(ScorerTest, HybridInferenceMatchesTrainer) {
+  // Separate, smaller world: the shared one trains without hybrid readouts,
+  // and the hybrid rating head must be trained on hybrid inputs.
+  data::SyntheticConfig world_config;
+  world_config.num_users = 40;
+  world_config.items_per_domain = 20;
+  world_config.mean_reviews_per_user = 4;
+  world_config.seed = 33;
+  data::SyntheticWorld world(world_config);
+  data::CrossDomainDataset cross = world.MakePair("Books", "Movies");
+  Rng split_rng(9);
+  data::ColdStartSplit split = data::MakeColdStartSplit(cross, &split_rng);
+
+  core::OmniMatchConfig config = TinyModel();
+  config.epochs = 1;
+  config.use_hybrid_inference = true;
+  core::OmniMatchTrainer trainer(config, &cross, split);
+  ASSERT_TRUE(trainer.Prepare().ok());
+  trainer.Train();
+  const std::string path = testing::TempDir() + "/serve_hybrid.omck";
+  ASSERT_TRUE(trainer.SaveCheckpoint(path).ok());
+
+  Result<std::shared_ptr<const ModelSnapshot>> loaded =
+      ModelSnapshot::Load(config, &cross, split, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  Scorer scorer(loaded.value(), 64);
+  const std::vector<int>& items = cross.target().items();
+  for (size_t i = 0; i < std::min<size_t>(3, split.test_users.size()); ++i) {
+    const int user = split.test_users[i];
+    const int item = items[i % items.size()];
+    EXPECT_EQ(trainer.PredictRating(user, item), scorer.Score(user, item))
+        << "user " << user << " item " << item;
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace omnimatch
