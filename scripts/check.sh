@@ -30,6 +30,23 @@ run_release() {
   # the latency histogram saw all of them, and percentiles are ordered.
   ./build/bench/bench_serve --smoke --check \
     --out=build/BENCH_serve.json
+  echo "=== Algorithm-1 index smoke benchmark ==="
+  # Self-checking: fails unless the CSR like-minded path is bit-identical
+  # to the retired scan path on the Table-2 config and at least matches its
+  # throughput at 10^5 users. The 1.0 floor (vs the >=10x a quiet machine
+  # shows) keeps the gate meaningful on loaded CI runners.
+  ./build/bench/bench_auxgen --check --check_speedup_min=1.0 --reps=2 \
+    --out=build/BENCH_auxgen.json
+  echo "=== Million-user out-of-core smoke (RSS-capped) ==="
+  # Streams a million-user world to OMDS files, maps them back, and drives
+  # split + parallel auxiliary generation + checkpoint + serve scoring
+  # entirely against the mapped backend. Fails if peak RSS exceeds the
+  # fixed 1 GB budget (the in-memory path needs several times that).
+  local smoke_dir="${TMPDIR:-/tmp}/omnimatch_million_smoke"
+  ./build/bench/bench_auxgen --million_smoke --users=1000000 \
+    --max_rss_mb=1024 --workdir="${smoke_dir}" \
+    --out=build/BENCH_auxgen_million.json
+  rm -rf "${smoke_dir}"
 }
 
 # Sanitizer configs only build the test tree (benchmarks and examples add

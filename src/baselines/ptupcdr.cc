@@ -19,9 +19,9 @@ std::vector<float> Ptupcdr::CharacteristicVector(
   std::vector<float> c(static_cast<size_t>(d), 0.0f);
   int count = 0;
   for (int idx : cross.source().RecordsOfUser(user_id)) {
-    const data::Review& r = cross.source().reviews()[idx];
-    if (!source_mf_->HasItem(r.item_id)) continue;
-    std::vector<float> q = source_mf_->ItemFactor(r.item_id);
+    int item = cross.source().ReviewItem(static_cast<size_t>(idx));
+    if (!source_mf_->HasItem(item)) continue;
+    std::vector<float> q = source_mf_->ItemFactor(item);
     for (int k = 0; k < d; ++k) c[static_cast<size_t>(k)] += q[k];
     ++count;
   }

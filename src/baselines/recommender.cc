@@ -11,8 +11,9 @@ eval::Metrics EvaluateRecommender(const Recommender& model,
   eval::MetricsAccumulator acc;
   for (int u : users) {
     for (int idx : cross.target().RecordsOfUser(u)) {
-      const data::Review& r = cross.target().reviews()[idx];
-      acc.Add(model.PredictRating(u, r.item_id), r.rating);
+      size_t i = static_cast<size_t>(idx);
+      acc.Add(model.PredictRating(u, cross.target().ReviewItem(i)),
+              cross.target().ReviewRating(i));
     }
   }
   // An empty user list yields an empty Metrics (count == 0), not an abort.
@@ -26,16 +27,20 @@ std::vector<RatingTriple> VisibleRatings(const data::CrossDomainDataset& cross,
                                          bool include_target) {
   std::vector<RatingTriple> out;
   if (include_source) {
-    for (const data::Review& r : cross.source().reviews()) {
-      out.push_back({r.user_id, r.item_id, r.rating});
+    const data::DomainDataset& source = cross.source();
+    for (size_t i = 0; i < source.num_reviews(); ++i) {
+      out.push_back({source.ReviewUser(i), source.ReviewItem(i),
+                     source.ReviewRating(i)});
     }
   }
   if (include_target) {
     std::unordered_set<int> train_set(split.train_users.begin(),
                                       split.train_users.end());
-    for (const data::Review& r : cross.target().reviews()) {
-      if (train_set.count(r.user_id) > 0) {
-        out.push_back({r.user_id, r.item_id, r.rating});
+    const data::DomainDataset& target = cross.target();
+    for (size_t i = 0; i < target.num_reviews(); ++i) {
+      if (train_set.count(target.ReviewUser(i)) > 0) {
+        out.push_back({target.ReviewUser(i), target.ReviewItem(i),
+                       target.ReviewRating(i)});
       }
     }
   }

@@ -1,9 +1,12 @@
 #include "common/io.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <bit>
 #include <cerrno>
 #include <cstdio>
@@ -35,8 +38,20 @@ Result<std::string> ReadFileToString(const std::string& path) {
   return data;
 }
 
+std::string UniqueTmpPath(const std::string& path) {
+  // pid + process-local counter: concurrent writers (other processes, other
+  // threads) targeting the same destination each stage into their own tmp
+  // file, so the losing rename replaces — never misses — and no writer can
+  // observe a half-written staging file it didn't create.
+  static std::atomic<uint64_t> counter{0};
+  return StrFormat("%s.tmp.%d.%llu", path.c_str(),
+                   static_cast<int>(::getpid()),
+                   static_cast<unsigned long long>(
+                       counter.fetch_add(1, std::memory_order_relaxed)));
+}
+
 Status WriteFileAtomic(const std::string& path, std::string_view data) {
-  std::string tmp = path + ".tmp";
+  std::string tmp = UniqueTmpPath(path);
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
     return Status::IoError(tmp + ": " + std::strerror(errno));
@@ -66,6 +81,57 @@ Status EnsureDirectory(const std::string& path) {
     return Status::OK();
   }
   return Status::IoError("mkdir " + path + ": " + std::strerror(errno));
+}
+
+MemoryMappedFile::~MemoryMappedFile() {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+}
+
+MemoryMappedFile::MemoryMappedFile(MemoryMappedFile&& other) noexcept
+    : addr_(other.addr_), size_(other.size_) {
+  other.addr_ = nullptr;
+  other.size_ = 0;
+}
+
+MemoryMappedFile& MemoryMappedFile::operator=(
+    MemoryMappedFile&& other) noexcept {
+  if (this != &other) {
+    if (addr_ != nullptr) ::munmap(addr_, size_);
+    addr_ = other.addr_;
+    size_ = other.size_;
+    other.addr_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+Result<MemoryMappedFile> MemoryMappedFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError(path + ": " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status err = Status::IoError("fstat " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return err;
+  }
+  MemoryMappedFile mapped;
+  mapped.size_ = static_cast<size_t>(st.st_size);
+  if (mapped.size_ > 0) {
+    void* addr =
+        ::mmap(nullptr, mapped.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      Status err =
+          Status::IoError("mmap " + path + ": " + std::strerror(errno));
+      ::close(fd);
+      return err;
+    }
+    mapped.addr_ = addr;
+  }
+  // The mapping outlives the descriptor; closing it releases nothing mapped.
+  ::close(fd);
+  return mapped;
 }
 
 }  // namespace omnimatch

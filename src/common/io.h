@@ -16,17 +16,54 @@ namespace omnimatch {
 /// opened or read.
 Result<std::string> ReadFileToString(const std::string& path);
 
-/// Crash-safe file write: the payload goes to `<path>.tmp`, is flushed and
-/// fsync'd, and only then renamed over `path`. A crash at any point leaves
-/// either the old file or the new file — never a torn half-write. The tmp
-/// file lives in the same directory so the rename stays atomic (same
-/// filesystem).
+/// A staging path `<path>.tmp.<pid>.<n>` in the same directory as `path`
+/// (so a later rename stays atomic — same filesystem), unique per call even
+/// across concurrent processes and threads targeting the same destination.
+std::string UniqueTmpPath(const std::string& path);
+
+/// Crash-safe file write: the payload goes to a UniqueTmpPath() staging
+/// file, is flushed and fsync'd, and only then renamed over `path`. A crash
+/// at any point leaves either the old file or the new file — never a torn
+/// half-write; concurrent writers never clobber each other's staging files.
 Status WriteFileAtomic(const std::string& path, std::string_view data);
 
 /// Creates `path` as a directory if it does not already exist (single
 /// level, like mkdir -p for one component at a time). OK when the directory
 /// already exists; IoError otherwise.
 Status EnsureDirectory(const std::string& path);
+
+/// Read-only memory mapping of a whole file (mmap PROT_READ MAP_PRIVATE).
+///
+/// The out-of-core dataset backend: a mapped OMDS domain file is paged in
+/// on demand by the kernel, so resident memory tracks the working set
+/// instead of the file size. Lifetime contract: data() stays valid exactly
+/// as long as this object lives — holders that hand out string_views into
+/// the mapping (DomainDataset via OmdsFile) keep it alive via shared_ptr.
+/// The mapping base is page-aligned, so any record structure placed at an
+/// 8-byte-aligned file offset is correctly aligned in memory.
+///
+/// Move-only: the destructor unmaps.
+class MemoryMappedFile {
+ public:
+  MemoryMappedFile() = default;
+  ~MemoryMappedFile();
+  MemoryMappedFile(MemoryMappedFile&& other) noexcept;
+  MemoryMappedFile& operator=(MemoryMappedFile&& other) noexcept;
+  MemoryMappedFile(const MemoryMappedFile&) = delete;
+  MemoryMappedFile& operator=(const MemoryMappedFile&) = delete;
+
+  /// Maps `path` read-only. An empty file yields a valid zero-size mapping
+  /// (data() == nullptr, size() == 0). IoError when the file cannot be
+  /// opened, stat'd or mapped.
+  static Result<MemoryMappedFile> Open(const std::string& path);
+
+  const char* data() const { return static_cast<const char*>(addr_); }
+  size_t size() const { return size_; }
+
+ private:
+  void* addr_ = nullptr;
+  size_t size_ = 0;
+};
 
 /// Append-only little-endian binary encoder for checkpoint payloads.
 ///

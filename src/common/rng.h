@@ -8,6 +8,17 @@
 
 namespace omnimatch {
 
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixing function.
+/// Used to derive decorrelated seeds from structured inputs (config
+/// fingerprints, user ids) — see AuxReviewGenerator::PerUserSeed and the
+/// serve snapshot version digest, which both build on it.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
 /// Deterministic PCG32 random number generator.
 ///
 /// Every stochastic component in the library (data generation, weight

@@ -3,9 +3,37 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/threadpool.h"
+#include "obs/metrics.h"
 
 namespace omnimatch {
 namespace core {
+
+namespace {
+
+obs::Counter* LikeMindedHits() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("auxgen.like_minded_hits");
+  return c;
+}
+obs::Counter* LikeMindedMisses() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("auxgen.like_minded_misses");
+  return c;
+}
+obs::Counter* EmptyTargetFallbacks() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "auxgen.empty_target_fallbacks");
+  return c;
+}
+obs::Histogram* BucketSizeHist() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "auxgen.bucket_size",
+      std::vector<double>{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+  return h;
+}
+
+}  // namespace
 
 AuxReviewGenerator::AuxReviewGenerator(const data::CrossDomainDataset* cross,
                                        std::vector<int> eligible_users,
@@ -15,63 +43,92 @@ AuxReviewGenerator::AuxReviewGenerator(const data::CrossDomainDataset* cross,
       field_(field) {
   OM_CHECK(cross_ != nullptr);
   std::sort(eligible_sorted_.begin(), eligible_sorted_.end());
-  eligible_set_.insert(eligible_sorted_.begin(), eligible_sorted_.end());
+  // One pass over the packed dictionary up front buys hash-free, span-sized
+  // draws for every subsequent record (§4.1 complexity analysis).
+  eligible_ir_ = data::CsrIndex<long long>::Filter(
+      cross_->source().item_rating_index(), [this](int v) {
+        return std::binary_search(eligible_sorted_.begin(),
+                                  eligible_sorted_.end(), v);
+      });
 }
 
-const std::string& AuxReviewGenerator::TextOf(
-    const data::Review& review) const {
-  return field_ == TextField::kSummary ? review.summary : review.full_text;
+std::string_view AuxReviewGenerator::TextAt(const data::DomainDataset& domain,
+                                            int rec_idx) const {
+  size_t i = static_cast<size_t>(rec_idx);
+  return field_ == TextField::kSummary ? domain.ReviewSummary(i)
+                                       : domain.ReviewFullText(i);
 }
 
 std::vector<std::string> AuxReviewGenerator::GenerateForUser(
     int user_id, Rng* rng, AuxReviewTrace* trace) const {
   OM_CHECK(rng != nullptr);
-  if (trace != nullptr) {
+  const bool tracing = trace != nullptr;
+  if (tracing) {
     trace->user_id = user_id;
     trace->choices.clear();
   }
   const data::DomainDataset& source = cross_->source();
   const data::DomainDataset& target = cross_->target();
+  // Histogram observations cost a CAS per record; keep the scan free unless
+  // a metrics sink is attached. Counters stay always-on (their contract).
+  const bool observe = obs::MetricsEnabled();
 
   std::vector<std::string> aux_reviews;
   // foreach record in u's source-domain purchase records (Alg. 1 line 5).
   for (int rec_idx : source.RecordsOfUser(user_id)) {
-    const data::Review& record = source.reviews()[rec_idx];
+    const int item = source.ReviewItem(static_cast<size_t>(rec_idx));
+    const float rating = source.ReviewRating(static_cast<size_t>(rec_idx));
 
-    AuxReviewChoice choice;
-    choice.source_item = record.item_id;
-    choice.rating = record.rating;
-    choice.source_review = TextOf(record);
+    // like_minded_t = the pre-filtered eligible bucket (lines 7-11), minus
+    // the cold user's own entry. The bucket is sorted, so the self entry —
+    // if present — sits at its lower_bound position; drawing over n-1 and
+    // shifting indices at/after it is the same uniform draw over
+    // "bucket \ {u}" the scan-and-filter implementation made.
+    data::IdSpan bucket = eligible_ir_.Find(
+        data::DomainDataset::ItemRatingKey(item, rating));
+    const int* lo = std::lower_bound(bucket.begin(), bucket.end(), user_id);
+    const size_t self_pos = static_cast<size_t>(lo - bucket.begin());
+    const bool has_self = lo != bucket.end() && *lo == user_id;
+    const uint32_t n =
+        static_cast<uint32_t>(bucket.size()) - (has_self ? 1u : 0u);
+    if (observe) BucketSizeHist()->Observe(static_cast<double>(n));
 
-    // like_minded_s = users who rated the same item with the same rating
-    // (line 7), filtered to overlapping training users (lines 8-11).
-    std::vector<int> like_minded_t;
-    for (int v : source.UsersWhoRated(record.item_id, record.rating)) {
-      if (v != user_id && eligible_set_.count(v) > 0) {
-        like_minded_t.push_back(v);
-      }
-    }
-    // UsersWhoRated() buckets are sorted and duplicate-free (built that way
-    // by BuildIndices), and the eligibility filter preserves order — so
-    // like_minded_t is already the set Algorithm 1 draws from.
-    choice.num_like_minded = static_cast<int>(like_minded_t.size());
-
-    if (!like_minded_t.empty()) {
+    int aux_user = -1;
+    int target_item = -1;
+    std::string_view borrowed;
+    bool borrowed_set = false;
+    if (n > 0) {
+      LikeMindedHits()->Increment();
       // Randomly select one like-minded user (line 12).
-      int aux_user = like_minded_t[rng->UniformU32(
-          static_cast<uint32_t>(like_minded_t.size()))];
-      choice.like_minded_user = aux_user;
+      uint32_t draw = rng->UniformU32(n);
+      aux_user = bucket[draw + (has_self && draw >= self_pos ? 1 : 0)];
       // Randomly select one of their target-domain records (lines 13-15).
-      const std::vector<int>& aux_records = target.RecordsOfUser(aux_user);
+      data::IdSpan aux_records = target.RecordsOfUser(aux_user);
       if (!aux_records.empty()) {
-        const data::Review& aux_record = target.reviews()[aux_records[
-            rng->UniformU32(static_cast<uint32_t>(aux_records.size()))]];
-        choice.target_item = aux_record.item_id;
-        choice.aux_review = TextOf(aux_record);
-        aux_reviews.push_back(choice.aux_review);
+        int aux_idx = aux_records[rng->UniformU32(
+            static_cast<uint32_t>(aux_records.size()))];
+        target_item = target.ReviewItem(static_cast<size_t>(aux_idx));
+        borrowed = TextAt(target, aux_idx);
+        borrowed_set = true;
+        aux_reviews.emplace_back(borrowed);
+      } else {
+        EmptyTargetFallbacks()->Increment();
       }
+    } else {
+      LikeMindedMisses()->Increment();
     }
-    if (trace != nullptr) trace->choices.push_back(std::move(choice));
+
+    if (tracing) {
+      AuxReviewChoice choice;
+      choice.source_item = item;
+      choice.rating = rating;
+      choice.source_review = std::string(TextAt(source, rec_idx));
+      choice.num_like_minded = static_cast<int>(n);
+      choice.like_minded_user = aux_user;
+      choice.target_item = target_item;
+      if (borrowed_set) choice.aux_review = std::string(borrowed);
+      trace->choices.push_back(std::move(choice));
+    }
   }
   return aux_reviews;
 }
@@ -81,6 +138,22 @@ std::vector<std::vector<std::string>> AuxReviewGenerator::GenerateAll(
   std::vector<std::vector<std::string>> out;
   out.reserve(cold_users.size());
   for (int u : cold_users) out.push_back(GenerateForUser(u, rng));
+  return out;
+}
+
+std::vector<std::vector<std::string>> AuxReviewGenerator::GenerateAll(
+    const std::vector<int>& cold_users, uint64_t base_seed) const {
+  std::vector<std::vector<std::string>> out(cold_users.size());
+  // Disjoint contiguous chunks + per-user derived streams: bit-identical
+  // for any thread count (the ParallelFor determinism contract).
+  ParallelFor(0, static_cast<int64_t>(cold_users.size()), 8,
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                  int u = cold_users[static_cast<size_t>(i)];
+                  Rng rng(PerUserSeed(base_seed, u));
+                  out[static_cast<size_t>(i)] = GenerateForUser(u, &rng);
+                }
+              });
   return out;
 }
 

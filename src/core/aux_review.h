@@ -1,8 +1,9 @@
 #ifndef OMNIMATCH_CORE_AUX_REVIEW_H_
 #define OMNIMATCH_CORE_AUX_REVIEW_H_
 
+#include <cstdint>
 #include <string>
-#include <unordered_set>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.h"
@@ -42,9 +43,15 @@ struct AuxReviewTrace {
 /// uniformly at random, and append that record's review text to u's
 /// auxiliary target-domain document.
 ///
-/// Precomputed dictionaries (the two maps of the §4.1 complexity analysis)
-/// live on `DomainDataset`, making each lookup O(1); generation for one user
-/// is O(M·Q) with M = user's source records, Q = mean like-minded set size.
+/// The constructor pre-filters the source's CSR (item, rating) -> users
+/// dictionary down to the eligible users once, so GenerateForUser draws a
+/// like-minded user with a single UniformU32 over a contiguous span — no
+/// per-record candidate list is materialized and no hash probes run on the
+/// hot path. The draw is bit-identical to filtering the raw bucket per
+/// record: buckets are sorted and duplicate-free, the eligibility filter
+/// preserves order, and the cold user's own entry (the one per-query
+/// exclusion) is skipped by index remapping around its lower_bound position
+/// without consuming extra randomness.
 class AuxReviewGenerator {
  public:
   /// `cross` must outlive the generator. `eligible_users` are the users
@@ -55,25 +62,45 @@ class AuxReviewGenerator {
 
   /// Runs Algorithm 1's inner loop for one user. Returns the auxiliary
   /// review texts (one per usable source record). `trace`, when non-null,
-  /// receives the full decision log including skipped records.
+  /// receives the full decision log including skipped records (tracing is
+  /// the only mode that materializes per-choice strings).
   std::vector<std::string> GenerateForUser(int user_id, Rng* rng,
                                            AuxReviewTrace* trace = nullptr) const;
 
   /// Algorithm 1's outer loop: auxiliary documents for every user in
-  /// `cold_users`, in order.
+  /// `cold_users`, in order, drawn from one shared sequential stream.
   std::vector<std::vector<std::string>> GenerateAll(
       const std::vector<int>& cold_users, Rng* rng) const;
+
+  /// Parallel outer loop: each user draws from its own stream seeded
+  /// PerUserSeed(base_seed, user), so the result is independent of thread
+  /// count and of the order users are processed in — and matches what the
+  /// serving path generates online for the same (base_seed, user) pair.
+  std::vector<std::vector<std::string>> GenerateAll(
+      const std::vector<int>& cold_users, uint64_t base_seed) const;
+
+  /// The per-user seeding contract shared by offline generation and online
+  /// cold-start admission (serve's ModelSnapshot uses its version digest as
+  /// `base_seed`): base ^ SplitMix64(uint32(user)). Mixing the id through
+  /// SplitMix64 decorrelates the streams of adjacent user ids.
+  static uint64_t PerUserSeed(uint64_t base_seed, int user_id) {
+    return base_seed ^
+           SplitMix64(static_cast<uint64_t>(static_cast<uint32_t>(user_id)));
+  }
 
   const std::vector<int>& eligible_users() const {
     return eligible_sorted_;
   }
 
  private:
-  const std::string& TextOf(const data::Review& review) const;
+  std::string_view TextAt(const data::DomainDataset& domain, int rec_idx) const;
 
   const data::CrossDomainDataset* cross_;
   std::vector<int> eligible_sorted_;
-  std::unordered_set<int> eligible_set_;
+  /// source.item_rating_index() restricted to eligible users: same keys,
+  /// buckets sorted / duplicate-free / eligible-only. Rebuilding-free view —
+  /// valid as long as the source dataset's indices are.
+  data::CsrIndex<long long> eligible_ir_;
   TextField field_;
 };
 

@@ -48,9 +48,11 @@ OmniMatchTrainer::OmniMatchTrainer(const OmniMatchConfig& config,
   OM_CHECK(cross_ != nullptr);
 }
 
-const std::string& OmniMatchTrainer::TextOf(const data::Review& review) const {
-  return config_.text_field == TextField::kSummary ? review.summary
-                                                   : review.full_text;
+std::string_view OmniMatchTrainer::TextAt(const data::DomainDataset& domain,
+                                          size_t idx) const {
+  return config_.text_field == TextField::kSummary
+             ? domain.ReviewSummary(idx)
+             : domain.ReviewFullText(idx);
 }
 
 Status OmniMatchTrainer::Prepare() {
@@ -115,14 +117,16 @@ void OmniMatchTrainer::BuildVocabulary() {
   // Training-visible text: every source-domain review (cold users' source
   // history is known) plus target-domain reviews of training users only.
   std::vector<std::vector<std::string>> docs;
-  for (const data::Review& r : cross_->source().reviews()) {
-    docs.push_back(text::Tokenize(TextOf(r)));
+  const data::DomainDataset& source = cross_->source();
+  for (size_t i = 0; i < source.num_reviews(); ++i) {
+    docs.push_back(text::Tokenize(TextAt(source, i)));
   }
   std::unordered_set<int> train_set(split_.train_users.begin(),
                                     split_.train_users.end());
-  for (const data::Review& r : cross_->target().reviews()) {
-    if (train_set.count(r.user_id) > 0) {
-      docs.push_back(text::Tokenize(TextOf(r)));
+  const data::DomainDataset& target = cross_->target();
+  for (size_t i = 0; i < target.num_reviews(); ++i) {
+    if (train_set.count(target.ReviewUser(i)) > 0) {
+      docs.push_back(text::Tokenize(TextAt(target, i)));
     }
   }
   vocab_ = text::Vocabulary();
@@ -146,7 +150,7 @@ void OmniMatchTrainer::BuildDocuments() {
                         int user) -> std::vector<std::string> {
     std::vector<std::string> texts;
     for (int idx : domain.RecordsOfUser(user)) {
-      texts.push_back(TextOf(domain.reviews()[idx]));
+      texts.emplace_back(TextAt(domain, static_cast<size_t>(idx)));
     }
     return texts;
   };
@@ -221,8 +225,10 @@ void OmniMatchTrainer::BuildDocuments() {
   for (int item : cross_->target().items()) {
     std::vector<std::string> texts;
     for (int idx : cross_->target().RecordsOfItem(item)) {
-      const data::Review& r = cross_->target().reviews()[idx];
-      if (train_set.count(r.user_id) > 0) texts.push_back(TextOf(r));
+      size_t i = static_cast<size_t>(idx);
+      if (train_set.count(cross_->target().ReviewUser(i)) > 0) {
+        texts.emplace_back(TextAt(cross_->target(), i));
+      }
     }
     item_docs_[item] = texts.empty()
                            ? empty_item_doc_
@@ -234,12 +240,13 @@ void OmniMatchTrainer::BuildDocuments() {
   // Training samples: target-domain records of training users.
   for (int u : split_.train_users) {
     for (int idx : cross_->target().RecordsOfUser(u)) {
-      const data::Review& r = cross_->target().reviews()[idx];
+      size_t i = static_cast<size_t>(idx);
       TrainSample s;
       s.user = u;
-      s.item = r.item_id;
-      s.label = std::clamp(static_cast<int>(std::lround(r.rating)) - 1, 0,
-                           config_.num_rating_classes - 1);
+      s.item = cross_->target().ReviewItem(i);
+      s.label = std::clamp(
+          static_cast<int>(std::lround(cross_->target().ReviewRating(i))) - 1,
+          0, config_.num_rating_classes - 1);
       train_samples_.push_back(s);
     }
   }
@@ -836,12 +843,12 @@ eval::Metrics OmniMatchTrainer::Evaluate(const std::vector<int>& users) {
   };
   for (int u : users) {
     for (int idx : cross_->target().RecordsOfUser(u)) {
-      const data::Review& r = cross_->target().reviews()[idx];
+      size_t i = static_cast<size_t>(idx);
       TrainSample s;
       s.user = u;
-      s.item = r.item_id;
+      s.item = cross_->target().ReviewItem(i);
       batch.push_back(s);
-      gold.push_back(r.rating);
+      gold.push_back(cross_->target().ReviewRating(i));
       if (static_cast<int>(batch.size()) >= config_.batch_size) flush();
     }
   }
@@ -1019,7 +1026,7 @@ void OmniMatchTrainer::UseOracleTargetDocs(const std::vector<int>& users) {
   for (int u : users) {
     std::vector<std::string> texts;
     for (int idx : cross_->target().RecordsOfUser(u)) {
-      texts.push_back(TextOf(cross_->target().reviews()[idx]));
+      texts.emplace_back(TextAt(cross_->target(), static_cast<size_t>(idx)));
     }
     if (texts.empty()) continue;
     user_target_docs_[u] =

@@ -4,6 +4,7 @@
 #include <array>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -173,7 +174,9 @@ class OmniMatchTrainer {
     std::vector<Rng::State> model_rngs;
   };
 
-  const std::string& TextOf(const data::Review& review) const;
+  /// The configured text field of record `idx` (works on both dataset
+  /// backends; the view borrows from the dataset).
+  std::string_view TextAt(const data::DomainDataset& domain, size_t idx) const;
   void BuildVocabulary();
   void BuildDocuments();
   /// Runs one training batch: forward, backward, hardened gradient clip,

@@ -1,0 +1,174 @@
+#include "data/csr.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/threadpool.h"
+
+namespace omnimatch {
+namespace data {
+
+namespace {
+
+/// Shard count for the parallel key sort, derived from `n` alone so the
+/// sorted-run merge order — and therefore the final index — is independent
+/// of the thread-pool size.
+size_t NumShards(size_t n) {
+  constexpr size_t kMinPerShard = size_t{1} << 15;
+  size_t shards = (n + kMinPerShard - 1) / kMinPerShard;
+  return std::max<size_t>(1, std::min<size_t>(shards, 64));
+}
+
+}  // namespace
+
+template <typename Key>
+CsrIndex<Key> CsrIndex<Key>::Build(
+    size_t n, const std::function<Key(size_t)>& key_of,
+    const std::function<int(size_t)>& value_of, bool sort_unique_values) {
+  CsrIndex<Key> out;
+  if (n == 0) return out;
+  const int64_t sn = static_cast<int64_t>(n);
+
+  // 1. Every record's key (parallel; each element is independent).
+  std::vector<Key> record_keys(n);
+  ParallelFor(0, sn, 4096, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      record_keys[static_cast<size_t>(i)] = key_of(static_cast<size_t>(i));
+    }
+  });
+
+  // 2. Sorted unique key set: fixed shards sorted in parallel, then merged
+  //    sequentially in shard order (the determinism contract's merge step).
+  const size_t shards = NumShards(n);
+  std::vector<std::vector<Key>> runs(shards);
+  ParallelFor(0, static_cast<int64_t>(shards), 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t s = lo; s < hi; ++s) {
+      size_t begin = n * static_cast<size_t>(s) / shards;
+      size_t end = n * (static_cast<size_t>(s) + 1) / shards;
+      auto& run = runs[static_cast<size_t>(s)];
+      run.assign(record_keys.begin() + static_cast<int64_t>(begin),
+                 record_keys.begin() + static_cast<int64_t>(end));
+      std::sort(run.begin(), run.end());
+      run.erase(std::unique(run.begin(), run.end()), run.end());
+    }
+  });
+  std::vector<Key> merged = std::move(runs[0]);
+  for (size_t s = 1; s < shards; ++s) {
+    std::vector<Key> next;
+    next.reserve(merged.size() + runs[s].size());
+    std::merge(merged.begin(), merged.end(), runs[s].begin(), runs[s].end(),
+               std::back_inserter(next));
+    merged = std::move(next);
+  }
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  out.keys_ = std::move(merged);
+  const size_t num_keys = out.keys_.size();
+
+  // 3. Bucket position of each record (parallel binary search).
+  std::vector<uint32_t> pos(n);
+  ParallelFor(0, sn, 2048, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      size_t idx = static_cast<size_t>(i);
+      pos[idx] = static_cast<uint32_t>(
+          std::lower_bound(out.keys_.begin(), out.keys_.end(),
+                           record_keys[idx]) -
+          out.keys_.begin());
+    }
+  });
+
+  // 4. Counting pass + exclusive prefix sum; 5. fill in record order. Both
+  //    sequential O(n): cheap relative to the sorts, and trivially
+  //    thread-count independent.
+  out.offsets_.assign(num_keys + 1, 0);
+  for (size_t i = 0; i < n; ++i) ++out.offsets_[pos[i] + 1];
+  for (size_t k = 0; k < num_keys; ++k) out.offsets_[k + 1] += out.offsets_[k];
+  out.values_.resize(n);
+  std::vector<uint64_t> cursor(out.offsets_.begin(), out.offsets_.end() - 1);
+  for (size_t i = 0; i < n; ++i) {
+    out.values_[cursor[pos[i]]++] = value_of(i);
+  }
+
+  if (sort_unique_values) {
+    // Per-bucket sort runs on disjoint ranges (parallel-safe), then one
+    // sequential left-compaction drops duplicates.
+    ParallelFor(0, static_cast<int64_t>(num_keys), 64,
+                [&](int64_t lo, int64_t hi) {
+                  for (int64_t k = lo; k < hi; ++k) {
+                    auto b = out.values_.begin() +
+                             static_cast<int64_t>(out.offsets_[k]);
+                    auto e = out.values_.begin() +
+                             static_cast<int64_t>(out.offsets_[k + 1]);
+                    std::sort(b, e);
+                  }
+                });
+    std::vector<uint64_t> compact(num_keys + 1, 0);
+    uint64_t w = 0;
+    for (size_t k = 0; k < num_keys; ++k) {
+      const uint64_t bucket_start = w;
+      for (uint64_t i = out.offsets_[k]; i < out.offsets_[k + 1]; ++i) {
+        int v = out.values_[i];
+        if (w == bucket_start || out.values_[w - 1] != v) {
+          out.values_[w++] = v;
+        }
+      }
+      compact[k + 1] = w;
+    }
+    out.values_.resize(w);
+    out.offsets_ = std::move(compact);
+  }
+  return out;
+}
+
+template <typename Key>
+CsrIndex<Key> CsrIndex<Key>::Filter(const CsrIndex<Key>& src,
+                                    const std::function<bool(int)>& keep) {
+  CsrIndex<Key> out;
+  out.keys_ = src.keys_;
+  const size_t num_keys = out.keys_.size();
+  out.offsets_.assign(num_keys + 1, 0);
+  if (num_keys == 0) return out;
+
+  // Count survivors per bucket in parallel (buckets are independent), then
+  // prefix-sum sequentially and fill each bucket into its disjoint range.
+  std::vector<uint64_t> counts(num_keys, 0);
+  ParallelFor(0, static_cast<int64_t>(num_keys), 32,
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t k = lo; k < hi; ++k) {
+                  uint64_t c = 0;
+                  for (uint64_t i = src.offsets_[k]; i < src.offsets_[k + 1];
+                       ++i) {
+                    if (keep(src.values_[i])) ++c;
+                  }
+                  counts[static_cast<size_t>(k)] = c;
+                }
+              });
+  for (size_t k = 0; k < num_keys; ++k) {
+    out.offsets_[k + 1] = out.offsets_[k] + counts[k];
+  }
+  out.values_.resize(out.offsets_[num_keys]);
+  ParallelFor(0, static_cast<int64_t>(num_keys), 32,
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t k = lo; k < hi; ++k) {
+                  uint64_t w = out.offsets_[k];
+                  for (uint64_t i = src.offsets_[k]; i < src.offsets_[k + 1];
+                       ++i) {
+                    int v = src.values_[i];
+                    if (keep(v)) out.values_[w++] = v;
+                  }
+                }
+              });
+  return out;
+}
+
+template <typename Key>
+IdSpan CsrIndex<Key>::Find(Key key) const {
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  if (it == keys_.end() || *it != key) return IdSpan();
+  return ValuesAt(static_cast<size_t>(it - keys_.begin()));
+}
+
+template class CsrIndex<int>;
+template class CsrIndex<long long>;
+
+}  // namespace data
+}  // namespace omnimatch

@@ -1,7 +1,9 @@
 #include "data/csv.h"
 
 #include <fstream>
+#include <string_view>
 
+#include "common/io.h"
 #include "common/string_util.h"
 
 namespace omnimatch {
@@ -12,7 +14,7 @@ namespace {
 /// Escapes the TSV structural characters so review text round-trips
 /// exactly: tab, newline, carriage return and backslash become two-character
 /// sequences. The inverse is UnescapeText.
-std::string EscapeText(const std::string& text) {
+std::string EscapeText(std::string_view text) {
   std::string out;
   out.reserve(text.size());
   for (char c : text) {
@@ -54,9 +56,11 @@ Status SaveDomainTsv(const DomainDataset& dataset, const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
   out << "user_id\titem_id\trating\tsummary\tfull_text\n";
-  for (const Review& r : dataset.reviews()) {
-    out << r.user_id << '\t' << r.item_id << '\t' << r.rating << '\t'
-        << EscapeText(r.summary) << '\t' << EscapeText(r.full_text) << '\n';
+  for (size_t i = 0; i < dataset.num_reviews(); ++i) {
+    out << dataset.ReviewUser(i) << '\t' << dataset.ReviewItem(i) << '\t'
+        << dataset.ReviewRating(i) << '\t'
+        << EscapeText(dataset.ReviewSummary(i)) << '\t'
+        << EscapeText(dataset.ReviewFullText(i)) << '\n';
   }
   if (!out) return Status::IoError("write failed for " + path);
   return Status::OK();
@@ -64,13 +68,36 @@ Status SaveDomainTsv(const DomainDataset& dataset, const std::string& path) {
 
 Result<DomainDataset> LoadDomainTsv(const std::string& path,
                                     const std::string& name) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open " + path);
+  // One whole-file read instead of a getline loop: the buffer doubles as
+  // the pre-scan for the reserve below, and parsing walks string_views into
+  // it without per-line stream overhead.
+  Result<std::string> read = ReadFileToString(path);
+  if (!read.ok()) return read.status();
+  const std::string& buffer = read.value();
+
   DomainDataset dataset(name);
-  std::string line;
+  // Pre-scan: one row per newline is an upper bound (header and blank lines
+  // only over-reserve slightly), so reviews_ grows exactly once instead of
+  // through log2(n) reallocations on large files.
+  size_t newlines = 0;
+  for (char c : buffer) {
+    if (c == '\n') ++newlines;
+  }
+  dataset.ReserveReviews(newlines);
+
   bool first = true;
   int line_no = 0;
-  while (std::getline(in, line)) {
+  size_t pos = 0;
+  while (pos <= buffer.size()) {
+    // getline semantics: a trailing fragment without '\n' is still a line;
+    // a buffer ending in '\n' does not yield an extra empty line.
+    if (pos == buffer.size()) {
+      if (pos == 0 || buffer.back() == '\n') break;
+    }
+    size_t eol = buffer.find('\n', pos);
+    if (eol == std::string::npos) eol = buffer.size();
+    std::string line = buffer.substr(pos, eol - pos);
+    pos = eol + 1;
     ++line_no;
     if (first) {
       first = false;

@@ -4,26 +4,27 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "data/omds.h"
 
 namespace omnimatch {
 namespace data {
 
-namespace {
-long long ItemRatingKey(int item_id, float rating) {
+long long DomainDataset::ItemRatingKey(int item_id, float rating) {
   // Half-step buckets: 4.5 and 5.0 must key differently (Algorithm 1's
   // "same rating" is exact, and half-star ratings are legal inputs).
   int r = static_cast<int>(std::lround(rating * 2.0f));
   OM_CHECK(r >= 0 && r <= 15) << "rating out of key range: " << rating;
   return static_cast<long long>(item_id) * 16 + r;
 }
-}  // namespace
 
-const std::vector<int>& DomainDataset::EmptyVector() {
-  static const std::vector<int>* empty = new std::vector<int>();
-  return *empty;
+DomainDataset::DomainDataset(std::string name,
+                             std::shared_ptr<const OmdsFile> omds)
+    : name_(std::move(name)), omds_(std::move(omds)) {
+  OM_CHECK(omds_ != nullptr);
 }
 
 void DomainDataset::AddReview(Review review) {
+  OM_CHECK(!is_mapped()) << "mapped datasets are read-only";
   OM_CHECK_GE(review.user_id, 0);
   OM_CHECK_GE(review.item_id, 0);
   OM_CHECK(review.rating >= 1.0f && review.rating <= 5.0f)
@@ -32,67 +33,106 @@ void DomainDataset::AddReview(Review review) {
   indices_built_ = false;
 }
 
+void DomainDataset::ReserveReviews(size_t n) {
+  OM_CHECK(!is_mapped()) << "mapped datasets are read-only";
+  reviews_.reserve(n);
+}
+
+const std::vector<Review>& DomainDataset::reviews() const {
+  OM_CHECK(!is_mapped())
+      << "reviews() is in-memory only; use the per-record accessors";
+  return reviews_;
+}
+
+size_t DomainDataset::num_reviews() const {
+  return omds_ ? omds_->num_records() : reviews_.size();
+}
+
+int DomainDataset::ReviewUser(size_t i) const {
+  return omds_ ? omds_->meta(i).user_id : reviews_[i].user_id;
+}
+
+int DomainDataset::ReviewItem(size_t i) const {
+  return omds_ ? omds_->meta(i).item_id : reviews_[i].item_id;
+}
+
+float DomainDataset::ReviewRating(size_t i) const {
+  return omds_ ? omds_->meta(i).rating : reviews_[i].rating;
+}
+
+std::string_view DomainDataset::ReviewSummary(size_t i) const {
+  return omds_ ? omds_->summary(i) : std::string_view(reviews_[i].summary);
+}
+
+std::string_view DomainDataset::ReviewFullText(size_t i) const {
+  return omds_ ? omds_->full_text(i) : std::string_view(reviews_[i].full_text);
+}
+
+Review DomainDataset::CopyReview(size_t i) const {
+  if (!omds_) return reviews_[i];
+  Review r;
+  r.user_id = ReviewUser(i);
+  r.item_id = ReviewItem(i);
+  r.rating = ReviewRating(i);
+  r.summary = std::string(ReviewSummary(i));
+  r.full_text = std::string(ReviewFullText(i));
+  return r;
+}
+
 void DomainDataset::BuildIndices() {
-  user_records_.clear();
-  item_records_.clear();
-  item_rating_users_.clear();
-  users_.clear();
-  items_.clear();
-  for (size_t i = 0; i < reviews_.size(); ++i) {
-    const Review& r = reviews_[i];
-    user_records_[r.user_id].push_back(static_cast<int>(i));
-    item_records_[r.item_id].push_back(static_cast<int>(i));
-    item_rating_users_[ItemRatingKey(r.item_id, r.rating)].push_back(
-        r.user_id);
-  }
+  const size_t n = num_reviews();
+  user_index_ = CsrIndex<int>::Build(
+      n, [this](size_t i) { return ReviewUser(i); },
+      [](size_t i) { return static_cast<int>(i); },
+      /*sort_unique_values=*/false);
+  item_index_ = CsrIndex<int>::Build(
+      n, [this](size_t i) { return ReviewItem(i); },
+      [](size_t i) { return static_cast<int>(i); },
+      /*sort_unique_values=*/false);
   // A user who reviewed the same item with the same rating twice must still
   // appear once per bucket: Algorithm 1 samples like-minded users uniformly,
-  // so duplicates would skew the draw. Sorted buckets are also what
-  // AuxReviewGenerator's deterministic candidate lists rely on.
-  for (auto& [_, users] : item_rating_users_) {
-    std::sort(users.begin(), users.end());
-    users.erase(std::unique(users.begin(), users.end()), users.end());
-  }
-  users_.reserve(user_records_.size());
-  for (const auto& [uid, _] : user_records_) users_.push_back(uid);
-  std::sort(users_.begin(), users_.end());
-  items_.reserve(item_records_.size());
-  for (const auto& [iid, _] : item_records_) items_.push_back(iid);
-  std::sort(items_.begin(), items_.end());
+  // so duplicates would skew the draw — hence sort_unique_values.
+  item_rating_index_ = CsrIndex<long long>::Build(
+      n, [this](size_t i) { return ItemRatingKey(ReviewItem(i),
+                                                 ReviewRating(i)); },
+      [this](size_t i) { return ReviewUser(i); },
+      /*sort_unique_values=*/true);
   indices_built_ = true;
 }
 
-const std::vector<int>& DomainDataset::RecordsOfUser(int user_id) const {
+IdSpan DomainDataset::RecordsOfUser(int user_id) const {
   OM_CHECK(indices_built_) << "call BuildIndices() first";
-  auto it = user_records_.find(user_id);
-  return it == user_records_.end() ? EmptyVector() : it->second;
+  return user_index_.Find(user_id);
 }
 
-const std::vector<int>& DomainDataset::RecordsOfItem(int item_id) const {
+IdSpan DomainDataset::RecordsOfItem(int item_id) const {
   OM_CHECK(indices_built_) << "call BuildIndices() first";
-  auto it = item_records_.find(item_id);
-  return it == item_records_.end() ? EmptyVector() : it->second;
+  return item_index_.Find(item_id);
 }
 
-const std::vector<int>& DomainDataset::UsersWhoRated(int item_id,
-                                                     float rating) const {
+IdSpan DomainDataset::UsersWhoRated(int item_id, float rating) const {
   OM_CHECK(indices_built_) << "call BuildIndices() first";
-  auto it = item_rating_users_.find(ItemRatingKey(item_id, rating));
-  return it == item_rating_users_.end() ? EmptyVector() : it->second;
+  return item_rating_index_.Find(ItemRatingKey(item_id, rating));
+}
+
+const CsrIndex<long long>& DomainDataset::item_rating_index() const {
+  OM_CHECK(indices_built_) << "call BuildIndices() first";
+  return item_rating_index_;
 }
 
 float DomainDataset::GlobalMeanRating() const {
-  if (reviews_.empty()) return 3.0f;
+  const size_t n = num_reviews();
+  if (n == 0) return 3.0f;
   double sum = 0.0;
-  for (const Review& r : reviews_) sum += r.rating;
-  return static_cast<float>(sum / reviews_.size());
+  for (size_t i = 0; i < n; ++i) sum += ReviewRating(i);
+  return static_cast<float>(sum / static_cast<double>(n));
 }
 
 double DomainDataset::MeanReviewsPerUser() const {
   OM_CHECK(indices_built_) << "call BuildIndices() first";
-  if (users_.empty()) return 0.0;
-  return static_cast<double>(reviews_.size()) /
-         static_cast<double>(users_.size());
+  if (users().empty()) return 0.0;
+  return static_cast<double>(num_reviews()) /
+         static_cast<double>(users().size());
 }
 
 CrossDomainDataset::CrossDomainDataset(DomainDataset source,

@@ -1,63 +1,109 @@
 #ifndef OMNIMATCH_DATA_DATASET_H_
 #define OMNIMATCH_DATA_DATASET_H_
 
-#include <map>
-#include <set>
+#include <memory>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
+#include "data/csr.h"
 #include "data/types.h"
 
 namespace omnimatch {
 namespace data {
 
+class OmdsFile;
+
 /// All reviews of one domain plus the two lookup dictionaries the paper's
 /// Algorithm 1 preprocessing builds (§4.1):
 ///   1. user_id -> [(item, rating, review)] — RecordsOfUser()
 ///   2. (item_id, rating) -> [user_id]      — UsersWhoRated()
-/// Index construction is O(N·M) in the paper's notation; the lookups are
-/// then O(1) per call.
+/// Both dictionaries (and the item index) are CSR-packed flat arrays built
+/// in parallel shards with a deterministic merge order, so index
+/// construction is thread-count independent and a lookup is one binary
+/// search over a contiguous key array — no per-bucket heap allocations,
+/// which is what makes the million-user worlds fit.
+///
+/// Two record backends share this one API:
+///   * in-memory — AddReview()-built or TSV-loaded `std::vector<Review>`;
+///   * mapped    — an OMDS file (see data/omds.h) accessed through a
+///     shared, read-only memory mapping; records stream from disk and the
+///     resident set tracks the working set instead of the corpus size.
+/// Field accessors (ReviewUser/ReviewItem/ReviewRating/ReviewSummary/
+/// ReviewFullText) work on either backend; reviews() and AddReview() are
+/// in-memory only (they OM_CHECK on a mapped dataset).
 class DomainDataset {
  public:
   DomainDataset() = default;
   explicit DomainDataset(std::string name) : name_(std::move(name)) {}
+  /// Mapped backend: records come from `omds` (shared so the dataset stays
+  /// copyable and string_views into the mapping stay valid). Indices are
+  /// not built yet; call BuildIndices() (LoadDomainOmds does).
+  DomainDataset(std::string name, std::shared_ptr<const OmdsFile> omds);
 
-  /// Appends a review. Invalidates indices until BuildIndices() is called.
+  /// Appends a review (in-memory backend only). Invalidates indices until
+  /// BuildIndices() is called.
   void AddReview(Review review);
 
-  /// (Re)builds the user/item/(item,rating) dictionaries.
+  /// Pre-allocates review storage (in-memory backend only): bulk loaders
+  /// reserve once instead of growing through reallocations.
+  void ReserveReviews(size_t n);
+
+  /// (Re)builds the user/item/(item,rating) CSR dictionaries.
   void BuildIndices();
 
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 
-  const std::vector<Review>& reviews() const { return reviews_; }
-  size_t num_reviews() const { return reviews_.size(); }
+  /// True when records are backed by a memory-mapped OMDS file.
+  bool is_mapped() const { return omds_ != nullptr; }
+
+  /// In-memory backend only; use the per-record accessors below for code
+  /// that must handle both backends.
+  const std::vector<Review>& reviews() const;
+
+  size_t num_reviews() const;
+
+  // --- backend-independent per-record accessors ---
+  int ReviewUser(size_t i) const;
+  int ReviewItem(size_t i) const;
+  float ReviewRating(size_t i) const;
+  /// Views are valid as long as the dataset (and, for the mapped backend,
+  /// its shared OmdsFile) is alive.
+  std::string_view ReviewSummary(size_t i) const;
+  std::string_view ReviewFullText(size_t i) const;
+  /// Materializes record i as an owned Review (either backend).
+  Review CopyReview(size_t i) const;
 
   /// Users and items present, sorted ascending.
-  const std::vector<int>& users() const { return users_; }
-  const std::vector<int>& items() const { return items_; }
+  const std::vector<int>& users() const { return user_index_.keys(); }
+  const std::vector<int>& items() const { return item_index_.keys(); }
 
-  bool HasUser(int user_id) const {
-    return user_records_.count(user_id) > 0;
-  }
-  bool HasItem(int item_id) const {
-    return item_records_.count(item_id) > 0;
-  }
+  bool HasUser(int user_id) const { return !RecordsOfUser(user_id).empty(); }
+  bool HasItem(int item_id) const { return !RecordsOfItem(item_id).empty(); }
 
-  /// Indices (into reviews()) of a user's records; empty if unknown user.
-  const std::vector<int>& RecordsOfUser(int user_id) const;
+  /// Indices (into records) of a user's reviews, ascending; empty if
+  /// unknown user. The span stays valid until the next BuildIndices().
+  IdSpan RecordsOfUser(int user_id) const;
 
-  /// Indices (into reviews()) of an item's records; empty if unknown item.
-  const std::vector<int>& RecordsOfItem(int item_id) const;
+  /// Indices (into records) of an item's reviews; empty if unknown item.
+  IdSpan RecordsOfItem(int item_id) const;
 
   /// The like-minded lookup: users who rated `item_id` exactly `rating`.
   /// Ratings match at half-star resolution (4.5 and 5.0 are distinct
-  /// buckets). The returned list is sorted ascending and duplicate-free —
+  /// buckets). The returned span is sorted ascending and duplicate-free —
   /// a user appears once even if they reviewed the item with that rating
   /// several times. Empty if none.
-  const std::vector<int>& UsersWhoRated(int item_id, float rating) const;
+  IdSpan UsersWhoRated(int item_id, float rating) const;
+
+  /// The packed (item, rating) -> users dictionary itself. Key layout:
+  /// ItemRatingKey(). AuxReviewGenerator derives its eligible-filtered view
+  /// from this.
+  const CsrIndex<long long>& item_rating_index() const;
+
+  /// key = item_id * 16 + lround(rating * 2): half-step rating buckets, so
+  /// half-star ratings never collide with their neighbours.
+  static long long ItemRatingKey(int item_id, float rating);
 
   /// Mean rating across all records (the mu fallback of rating baselines).
   /// Returns 3.0 for an empty dataset.
@@ -69,18 +115,12 @@ class DomainDataset {
  private:
   std::string name_;
   std::vector<Review> reviews_;
+  std::shared_ptr<const OmdsFile> omds_;
   bool indices_built_ = false;
 
-  std::vector<int> users_;
-  std::vector<int> items_;
-  std::unordered_map<int, std::vector<int>> user_records_;
-  std::unordered_map<int, std::vector<int>> item_records_;
-  /// key = item_id * 16 + lround(rating * 2): half-step rating buckets, so
-  /// half-star ratings never collide with their neighbours. Each bucket is
-  /// sorted and deduplicated by BuildIndices().
-  std::unordered_map<long long, std::vector<int>> item_rating_users_;
-
-  static const std::vector<int>& EmptyVector();
+  CsrIndex<int> user_index_;              // user -> record indices
+  CsrIndex<int> item_index_;              // item -> record indices
+  CsrIndex<long long> item_rating_index_;  // (item, rating) -> users
 };
 
 /// A (source, target) domain pair plus the overlap bookkeeping of §2:

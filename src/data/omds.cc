@@ -1,0 +1,258 @@
+#include "data/omds.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cmath>
+#include <cstddef>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/crc32.h"
+#include "common/string_util.h"
+#include "common/threadpool.h"
+
+namespace omnimatch {
+namespace data {
+
+namespace {
+
+constexpr char kMagic[8] = {'O', 'M', 'D', 'S', 'v', '0', '1', '\n'};
+constexpr uint32_t kVersion = 1;
+constexpr uint64_t kTextOffset = 64;
+
+struct OmdsHeader {
+  char magic[8] = {};
+  uint32_t version = 0;
+  uint32_t flags = 0;
+  uint64_t num_records = 0;
+  uint64_t text_offset = 0;
+  uint64_t text_bytes = 0;
+  uint64_t meta_offset = 0;
+  uint32_t meta_crc32 = 0;
+  uint32_t header_crc32 = 0;  // CRC of the 52 bytes preceding this field
+  uint32_t text_crc32 = 0;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(OmdsHeader) == 64, "OMDS header layout is fixed");
+static_assert(offsetof(OmdsHeader, header_crc32) == 52,
+              "header CRC covers bytes [0, 52)");
+
+uint64_t AlignUp8(uint64_t v) { return (v + 7) & ~uint64_t{7}; }
+
+Status Corrupt(const std::string& path, const std::string& what) {
+  return Status::InvalidArgument(path + ": " + what);
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const OmdsFile>> OmdsFile::Open(
+    const std::string& path) {
+  Result<MemoryMappedFile> mapped = MemoryMappedFile::Open(path);
+  if (!mapped.ok()) return mapped.status();
+
+  auto file = std::shared_ptr<OmdsFile>(new OmdsFile());
+  file->path_ = path;
+  file->map_ = std::move(mapped).value();
+  const char* base = file->map_.data();
+  const uint64_t size = file->map_.size();
+
+  if (size < sizeof(OmdsHeader)) {
+    return Corrupt(path, "not an OMDS file (shorter than the header)");
+  }
+  OmdsHeader header;
+  std::memcpy(&header, base, sizeof header);
+  if (std::memcmp(header.magic, kMagic, sizeof kMagic) != 0) {
+    return Corrupt(path, "bad magic (not an OMDS file)");
+  }
+  if (header.version != kVersion) {
+    return Corrupt(path, StrFormat("unsupported OMDS version %u",
+                                   header.version));
+  }
+  if (Crc32(base, offsetof(OmdsHeader, header_crc32)) != header.header_crc32) {
+    return Corrupt(path, "header CRC mismatch");
+  }
+  if (header.text_offset != kTextOffset) {
+    return Corrupt(path, "unexpected text offset");
+  }
+  if (header.text_bytes > size - kTextOffset) {
+    return Corrupt(path, "truncated file (text section out of bounds)");
+  }
+  if (header.meta_offset % 8 != 0 || header.meta_offset > size ||
+      header.meta_offset < kTextOffset + header.text_bytes) {
+    return Corrupt(path, "misaligned or overlapping meta table");
+  }
+  if (header.num_records > (uint64_t{1} << 40)) {
+    return Corrupt(path, "implausible record count");
+  }
+  const uint64_t meta_bytes = header.num_records * sizeof(OmdsRecordMeta);
+  if (meta_bytes > size - header.meta_offset) {
+    return Corrupt(path, "truncated file (meta table out of bounds)");
+  }
+  if (Crc32(base + header.meta_offset, meta_bytes) != header.meta_crc32) {
+    return Corrupt(path, "meta table CRC mismatch");
+  }
+  if (Crc32(base + kTextOffset, header.text_bytes) != header.text_crc32) {
+    return Corrupt(path, "text section CRC mismatch");
+  }
+
+  file->text_ = base + kTextOffset;
+  file->meta_ = base + header.meta_offset;
+  file->num_records_ = static_cast<size_t>(header.num_records);
+
+  // Record-level validation, parallel over fixed chunks: every text span in
+  // bounds, ids and ratings in the ranges AddReview would enforce. A mapped
+  // dataset must never be weaker than an AddReview-built one.
+  std::atomic<bool> ok{true};
+  const int64_t n = static_cast<int64_t>(file->num_records_);
+  ParallelFor(0, n, 4096, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      OmdsRecordMeta m = file->meta(static_cast<size_t>(i));
+      uint64_t span = uint64_t{m.summary_len} + uint64_t{m.full_len};
+      if (m.text_off > header.text_bytes ||
+          span > header.text_bytes - m.text_off || m.user_id < 0 ||
+          m.item_id < 0 || !(m.rating >= 1.0f && m.rating <= 5.0f)) {
+        ok.store(false, std::memory_order_relaxed);
+        return;
+      }
+    }
+  });
+  if (!ok.load()) {
+    return Corrupt(path, "invalid record (bad text span, id or rating)");
+  }
+  return std::shared_ptr<const OmdsFile>(std::move(file));
+}
+
+OmdsRecordMeta OmdsFile::meta(size_t i) const {
+  OmdsRecordMeta m;
+  std::memcpy(&m, meta_ + i * sizeof(OmdsRecordMeta), sizeof m);
+  return m;
+}
+
+std::string_view OmdsFile::summary(size_t i) const {
+  OmdsRecordMeta m = meta(i);
+  return std::string_view(text_ + m.text_off, m.summary_len);
+}
+
+std::string_view OmdsFile::full_text(size_t i) const {
+  OmdsRecordMeta m = meta(i);
+  return std::string_view(text_ + m.text_off + m.summary_len, m.full_len);
+}
+
+OmdsWriter::~OmdsWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    std::remove(tmp_path_.c_str());
+  }
+}
+
+Status OmdsWriter::Open(const std::string& path) {
+  OM_CHECK(file_ == nullptr) << "OmdsWriter::Open called twice";
+  path_ = path;
+  tmp_path_ = UniqueTmpPath(path);
+  file_ = std::fopen(tmp_path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IoError(tmp_path_ + ": " + std::strerror(errno));
+  }
+  // Placeholder header; Finalize() seeks back and fills it in.
+  char zeros[sizeof(OmdsHeader)] = {};
+  if (std::fwrite(zeros, 1, sizeof zeros, file_) != sizeof zeros) {
+    return Status::IoError("write failed for " + tmp_path_);
+  }
+  return Status::OK();
+}
+
+Status OmdsWriter::Add(int user_id, int item_id, float rating,
+                       std::string_view summary, std::string_view full_text) {
+  OM_CHECK(file_ != nullptr) << "OmdsWriter not open";
+  if (user_id < 0 || item_id < 0 || !(rating >= 1.0f && rating <= 5.0f)) {
+    return Status::InvalidArgument(
+        StrFormat("record %zu: invalid ids or rating", meta_.size()));
+  }
+  OmdsRecordMeta m;
+  m.user_id = user_id;
+  m.item_id = item_id;
+  m.rating = rating;
+  m.summary_len = static_cast<uint32_t>(summary.size());
+  m.full_len = static_cast<uint32_t>(full_text.size());
+  m.text_off = text_bytes_;
+  bool ok = (summary.empty() ||
+             std::fwrite(summary.data(), 1, summary.size(), file_) ==
+                 summary.size()) &&
+            (full_text.empty() ||
+             std::fwrite(full_text.data(), 1, full_text.size(), file_) ==
+                 full_text.size());
+  if (!ok) return Status::IoError("write failed for " + tmp_path_);
+  text_crc_ = Crc32(summary, text_crc_);
+  text_crc_ = Crc32(full_text, text_crc_);
+  text_bytes_ += summary.size() + full_text.size();
+  meta_.push_back(m);
+  return Status::OK();
+}
+
+Status OmdsWriter::Finalize() {
+  OM_CHECK(file_ != nullptr) << "OmdsWriter not open";
+  // Pad the text section so the meta table lands 8-byte aligned.
+  const uint64_t meta_offset = kTextOffset + AlignUp8(text_bytes_);
+  const uint64_t pad = meta_offset - kTextOffset - text_bytes_;
+  const char zeros[8] = {};
+  bool ok = pad == 0 || std::fwrite(zeros, 1, pad, file_) == pad;
+  const size_t meta_bytes = meta_.size() * sizeof(OmdsRecordMeta);
+  ok = ok && (meta_bytes == 0 ||
+              std::fwrite(meta_.data(), 1, meta_bytes, file_) == meta_bytes);
+
+  OmdsHeader header;
+  std::memcpy(header.magic, kMagic, sizeof kMagic);
+  header.version = kVersion;
+  header.num_records = meta_.size();
+  header.text_offset = kTextOffset;
+  header.text_bytes = text_bytes_;
+  header.meta_offset = meta_offset;
+  header.meta_crc32 = Crc32(meta_.data(), meta_bytes);
+  header.text_crc32 = text_crc_;
+  header.header_crc32 =
+      Crc32(&header, offsetof(OmdsHeader, header_crc32));
+  ok = ok && std::fseek(file_, 0, SEEK_SET) == 0 &&
+       std::fwrite(&header, 1, sizeof header, file_) == sizeof header;
+  ok = ok && std::fflush(file_) == 0;
+  // fsync before rename, like WriteFileAtomic: the name must never point at
+  // data the disk has not seen.
+  ok = ok && ::fsync(fileno(file_)) == 0;
+  if (std::fclose(file_) != 0) ok = false;
+  file_ = nullptr;
+  if (!ok) {
+    std::remove(tmp_path_.c_str());
+    return Status::IoError("write failed for " + tmp_path_);
+  }
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path_.c_str());
+    return Status::IoError(StrFormat("rename %s -> %s: %s", tmp_path_.c_str(),
+                                     path_.c_str(), std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status WriteDomainOmds(const DomainDataset& dataset, const std::string& path) {
+  OmdsWriter writer;
+  OM_RETURN_IF_ERROR(writer.Open(path));
+  for (size_t i = 0; i < dataset.num_reviews(); ++i) {
+    OM_RETURN_IF_ERROR(writer.Add(dataset.ReviewUser(i), dataset.ReviewItem(i),
+                                  dataset.ReviewRating(i),
+                                  dataset.ReviewSummary(i),
+                                  dataset.ReviewFullText(i)));
+  }
+  return writer.Finalize();
+}
+
+Result<DomainDataset> LoadDomainOmds(const std::string& path,
+                                     const std::string& name) {
+  Result<std::shared_ptr<const OmdsFile>> file = OmdsFile::Open(path);
+  if (!file.ok()) return file.status();
+  DomainDataset dataset(name, std::move(file).value());
+  dataset.BuildIndices();
+  return dataset;
+}
+
+}  // namespace data
+}  // namespace omnimatch

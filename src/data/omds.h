@@ -1,0 +1,113 @@
+#ifndef OMNIMATCH_DATA_OMDS_H_
+#define OMNIMATCH_DATA_OMDS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/io.h"
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace omnimatch {
+namespace data {
+
+/// OMDS ("OmniMatch Dataset") v1: the binary, memory-mappable domain-file
+/// format behind the out-of-core data path (DESIGN.md "Out-of-core data
+/// path"). Layout, all little-endian:
+///
+///   [ 0,  64)  OmdsHeader (below)
+///   [64,  64 + text_bytes)           text blob: per record, the summary
+///                                    bytes immediately followed by the
+///                                    full_text bytes — no separators
+///   [meta_offset, + 32*num_records)  OmdsRecordMeta table
+///
+/// meta_offset is the text section's end rounded up to 8 bytes, so every
+/// OmdsRecordMeta (whose widest member is the 8-byte text_off) is 8-byte
+/// aligned both in the file and — because mmap bases are page-aligned — in
+/// memory. Integrity: CRC-32 over the meta table and over the text blob,
+/// plus a header CRC; Open() verifies all three and bounds-checks every
+/// record, so a truncated or bit-flipped file is rejected instead of served.
+
+/// Fixed 32-byte per-record entry. text_off is relative to the text
+/// section's start (file offset 64), so records are position-independent.
+struct OmdsRecordMeta {
+  int32_t user_id = 0;
+  int32_t item_id = 0;
+  float rating = 0.0f;
+  uint32_t summary_len = 0;
+  uint64_t text_off = 0;
+  uint32_t full_len = 0;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(OmdsRecordMeta) == 32, "OMDS meta layout is fixed");
+
+/// An opened, validated, memory-mapped OMDS file. Read-only and immutable
+/// after Open(); shared via shared_ptr so DomainDataset copies (and
+/// string_views into the text blob) keep the mapping alive.
+class OmdsFile {
+ public:
+  static Result<std::shared_ptr<const OmdsFile>> Open(const std::string& path);
+
+  size_t num_records() const { return num_records_; }
+  OmdsRecordMeta meta(size_t i) const;
+  std::string_view summary(size_t i) const;
+  std::string_view full_text(size_t i) const;
+  const std::string& path() const { return path_; }
+  size_t file_bytes() const { return map_.size(); }
+
+ private:
+  OmdsFile() = default;
+
+  std::string path_;
+  MemoryMappedFile map_;
+  const char* text_ = nullptr;  // text section base
+  const char* meta_ = nullptr;  // meta table base (8-byte aligned)
+  size_t num_records_ = 0;
+};
+
+/// Streaming OMDS writer: records are appended one at a time (text goes
+/// straight to disk; only the 32-byte metas accumulate in RAM), so a
+/// million-user world can be converted without materializing it. Writes to
+/// `<path>.tmp` and renames into place on Finalize() — crash-safe like
+/// WriteFileAtomic. Abandoning a writer (destruction without Finalize)
+/// removes the tmp file.
+class OmdsWriter {
+ public:
+  OmdsWriter() = default;
+  ~OmdsWriter();
+  OmdsWriter(const OmdsWriter&) = delete;
+  OmdsWriter& operator=(const OmdsWriter&) = delete;
+
+  Status Open(const std::string& path);
+  /// Validates like DomainDataset::AddReview (ids >= 0, rating in [1, 5]).
+  Status Add(int user_id, int item_id, float rating, std::string_view summary,
+             std::string_view full_text);
+  Status Finalize();
+
+  size_t num_records() const { return meta_.size(); }
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  std::FILE* file_ = nullptr;
+  std::vector<OmdsRecordMeta> meta_;
+  uint64_t text_bytes_ = 0;
+  uint32_t text_crc_ = 0;
+};
+
+/// Writes `dataset` (either backend) as an OMDS file at `path`.
+Status WriteDomainOmds(const DomainDataset& dataset, const std::string& path);
+
+/// Opens `path` as a memory-mapped DomainDataset named `name` and builds
+/// its indices — the drop-in out-of-core counterpart of LoadDomainTsv.
+Result<DomainDataset> LoadDomainOmds(const std::string& path,
+                                     const std::string& name);
+
+}  // namespace data
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_DATA_OMDS_H_

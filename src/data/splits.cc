@@ -53,7 +53,7 @@ std::vector<int> TargetRecordsOfUsers(const CrossDomainDataset& cross,
                                       const std::vector<int>& users) {
   std::vector<int> records;
   for (int u : users) {
-    const auto& recs = cross.target().RecordsOfUser(u);
+    IdSpan recs = cross.target().RecordsOfUser(u);
     records.insert(records.end(), recs.begin(), recs.end());
   }
   return records;

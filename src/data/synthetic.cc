@@ -72,8 +72,11 @@ SyntheticConfig SyntheticConfig::DoubanLike() {
 }
 
 SyntheticWorld::SyntheticWorld(const SyntheticConfig& config,
-                               std::vector<std::string> domain_names)
-    : config_(config), domain_names_(std::move(domain_names)) {
+                               std::vector<std::string> domain_names,
+                               bool materialize)
+    : config_(config),
+      domain_names_(std::move(domain_names)),
+      materialized_(materialize) {
   OM_CHECK_GE(domain_names_.size(), 2u);
   OM_CHECK_GT(config_.num_users, 0);
   OM_CHECK_GT(config_.items_per_domain, 0);
@@ -118,13 +121,24 @@ SyntheticWorld::SyntheticWorld(const SyntheticConfig& config,
     }
   }
 
-  // Items and reviews per domain.
+  // Items and reviews per domain. The item latents are always drawn (they
+  // are the first draws of each domain's forked stream); the RNG state is
+  // then snapshotted so review emission can be replayed later, and the
+  // reviews themselves are only materialized when asked to.
   domains_.clear();
   item_attr_.resize(num_domains);
   item_bias_.resize(num_domains);
   for (int d = 0; d < num_domains; ++d) {
     Rng domain_rng = master.Fork();
-    GenerateDomain(d, &domain_rng);
+    GenerateItemLatents(d, &domain_rng);
+    review_rngs_.push_back(domain_rng);
+    if (materialized_) {
+      DomainDataset dataset(domain_names_[static_cast<size_t>(d)]);
+      EmitReviews(d, &domain_rng,
+                  [&](Review&& r) { dataset.AddReview(std::move(r)); });
+      dataset.BuildIndices();
+      domains_.push_back(std::move(dataset));
+    }
   }
 }
 
@@ -162,9 +176,7 @@ void SyntheticWorld::GenerateVocabularyWords() {
   }
 }
 
-void SyntheticWorld::GenerateDomain(int d, Rng* rng) {
-  DomainDataset dataset(domain_names_[static_cast<size_t>(d)]);
-
+void SyntheticWorld::GenerateItemLatents(int d, Rng* rng) {
   item_attr_[d].resize(config_.items_per_domain);
   item_bias_[d].resize(config_.items_per_domain);
   for (int i = 0; i < config_.items_per_domain; ++i) {
@@ -175,7 +187,10 @@ void SyntheticWorld::GenerateDomain(int d, Rng* rng) {
     item_bias_[d][i] =
         static_cast<float>(rng->Normal(0.0, config_.item_bias_std));
   }
+}
 
+void SyntheticWorld::EmitReviews(
+    int d, Rng* rng, const std::function<void(Review&&)>& emit) const {
   float inv_sqrt_k = 1.0f / std::sqrt(static_cast<float>(config_.latent_dim));
   for (int u = 0; u < config_.num_users; ++u) {
     if (!participates_[d][u]) continue;
@@ -232,11 +247,18 @@ void SyntheticWorld::GenerateDomain(int d, Rng* rng) {
       review.full_text = SampleSummary(
           u, d, item_attr_[d][item], rating, len * config_.full_text_multiplier,
           config_.full_text_noise_boost, rng);
-      dataset.AddReview(std::move(review));
+      emit(std::move(review));
     }
   }
-  dataset.BuildIndices();
-  domains_.push_back(std::move(dataset));
+}
+
+void SyntheticWorld::StreamDomain(
+    const std::string& name,
+    const std::function<void(Review&&)>& emit) const {
+  int d = DomainIndex(name);
+  // A copy of the post-latent snapshot, so replays are repeatable and const.
+  Rng rng = review_rngs_[static_cast<size_t>(d)];
+  EmitReviews(d, &rng, emit);
 }
 
 std::string SyntheticWorld::SampleSummary(int user_id, int domain_idx,
@@ -297,6 +319,8 @@ int SyntheticWorld::DomainIndex(const std::string& name) const {
 }
 
 const DomainDataset& SyntheticWorld::domain(const std::string& name) const {
+  OM_CHECK(materialized_)
+      << "deferred world: use StreamDomain() to replay reviews";
   return domains_[static_cast<size_t>(DomainIndex(name))];
 }
 

@@ -2,6 +2,7 @@
 #define OMNIMATCH_DATA_SYNTHETIC_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -82,14 +83,28 @@ struct SyntheticConfig {
 
 /// A generated multi-domain world (default domains: Books, Movies, Music)
 /// with consistent users across domains.
+///
+/// Two modes share identical record streams:
+///   * materialized (default) — every domain is generated into an in-memory
+///     DomainDataset up front; domain()/MakePair() serve from RAM.
+///   * deferred (materialize = false) — only the latents are generated; the
+///     per-domain review stream is replayed on demand via StreamDomain(),
+///     record for record identical to what the materialized mode stores.
+///     This is how million-user worlds are written straight to OMDS files
+///     without ever holding a domain's reviews in memory.
+/// The equivalence holds because the constructor always advances each
+/// domain's forked RNG through the item-latent draws and snapshots the
+/// state; StreamDomain replays emission from a copy of that snapshot.
 class SyntheticWorld {
  public:
   SyntheticWorld(const SyntheticConfig& config,
                  std::vector<std::string> domain_names = {"Books", "Movies",
-                                                          "Music"});
+                                                          "Music"},
+                 bool materialize = true);
 
   /// Builds the cross-domain dataset for one scenario, e.g.
   /// MakePair("Books", "Movies"). Both names must be known domains.
+  /// Materialized worlds only.
   CrossDomainDataset MakePair(const std::string& source,
                               const std::string& target) const;
 
@@ -98,7 +113,15 @@ class SyntheticWorld {
   }
 
   /// The generated dataset of one domain (for inspection and tests).
+  /// Materialized worlds only.
   const DomainDataset& domain(const std::string& name) const;
+
+  /// Replays the review stream of one domain through `emit`, in the exact
+  /// order (and with the exact contents) the materialized dataset would
+  /// hold. Works in both modes; const — each call replays from the stored
+  /// post-latent RNG snapshot.
+  void StreamDomain(const std::string& name,
+                    const std::function<void(Review&&)>& emit) const;
 
   /// Ground-truth shared preference vector of a user (tests only).
   const std::vector<float>& UserPreference(int user_id) const;
@@ -108,14 +131,23 @@ class SyntheticWorld {
  private:
   int DomainIndex(const std::string& name) const;
   void GenerateVocabularyWords();
-  void GenerateDomain(int domain_idx, Rng* rng);
+  /// Draws item_attr_[d] / item_bias_[d] from `rng` — the first draws of a
+  /// domain's forked stream, in both modes.
+  void GenerateItemLatents(int domain_idx, Rng* rng);
+  /// The review-emission phase: consumes `rng` from the post-latent state.
+  void EmitReviews(int domain_idx, Rng* rng,
+                   const std::function<void(Review&&)>& emit) const;
   std::string SampleSummary(int user_id, int domain_idx,
                             const std::vector<float>& item_attr, int rating,
                             int length, double noise_boost, Rng* rng) const;
 
   SyntheticConfig config_;
   std::vector<std::string> domain_names_;
+  bool materialized_ = true;
   std::vector<DomainDataset> domains_;
+  /// Per-domain RNG state right after the item-latent draws; EmitReviews on
+  /// a copy of review_rngs_[d] reproduces the domain's review stream.
+  std::vector<Rng> review_rngs_;
 
   // Ground truth latents.
   std::vector<std::vector<float>> user_pref_;          // [U][k] shared

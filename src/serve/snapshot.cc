@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/rng.h"
 #include "common/string_util.h"
 #include "core/checkpoint.h"
 #include "core/trainer.h"
@@ -14,13 +15,6 @@ namespace omnimatch {
 namespace serve {
 
 namespace {
-
-uint64_t SplitMix64(uint64_t x) {
-  x += 0x9E3779B97F4A7C15ULL;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-  return x ^ (x >> 31);
-}
 
 /// Snapshot identity: the config fingerprint already pins architecture,
 /// seed and data-shaping switches; folding in the checkpoint's progress
@@ -122,24 +116,24 @@ Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Load(
 std::vector<std::vector<int>> ModelSnapshot::BuildColdUserDocs(
     int user_id) const {
   const data::DomainDataset& source = cross_->source();
-  const std::vector<int>& records = source.RecordsOfUser(user_id);
+  const data::IdSpan records = source.RecordsOfUser(user_id);
   if (records.empty()) return {};
 
   auto source_texts = [&]() {
     std::vector<std::string> texts;
     for (int idx : records) {
-      const data::Review& r = source.reviews()[idx];
-      texts.push_back(config_.text_field == core::TextField::kSummary
-                          ? r.summary
-                          : r.full_text);
+      size_t i = static_cast<size_t>(idx);
+      texts.emplace_back(config_.text_field == core::TextField::kSummary
+                             ? source.ReviewSummary(i)
+                             : source.ReviewFullText(i));
     }
     return texts;
   };
 
   // Seeded from (snapshot version, user id): admission is deterministic per
-  // snapshot, independent of request order and of which replica serves it.
-  Rng rng(version_ ^ SplitMix64(static_cast<uint64_t>(
-                         static_cast<uint32_t>(user_id))));
+  // snapshot, independent of request order and of which replica serves it —
+  // the same contract the offline parallel GenerateAll uses.
+  Rng rng(core::AuxReviewGenerator::PerUserSeed(version_, user_id));
   int samples = std::max(1, config_.aux_eval_samples);
   if (!config_.use_aux_reviews) samples = 1;
 

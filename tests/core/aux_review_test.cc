@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/threadpool.h"
 #include "data/splits.h"
 #include "data/synthetic.h"
 
@@ -242,6 +243,159 @@ TEST(AuxReviewTest, OneReviewPerUsableSourceRecord) {
   EXPECT_EQ(trace.choices.size(),
             cross.source().RecordsOfUser(user).size());
   EXPECT_LE(reviews.size(), trace.choices.size());
+}
+
+/// The pre-CSR implementation of Algorithm 1's inner loop, kept here as the
+/// executable specification: scan the raw (item, rating) bucket, filter by
+/// eligibility and self per record, draw from the materialized list. The
+/// production CSR path must consume the identical RNG stream and produce
+/// the identical trace.
+std::vector<std::string> ReferenceScanGenerate(
+    const data::CrossDomainDataset& cross,
+    const std::vector<int>& eligible_sorted, TextField field, int user_id,
+    Rng* rng, AuxReviewTrace* trace) {
+  const data::DomainDataset& source = cross.source();
+  const data::DomainDataset& target = cross.target();
+  std::set<int> eligible(eligible_sorted.begin(), eligible_sorted.end());
+  auto text_of = [&](const data::DomainDataset& d, int idx) {
+    size_t i = static_cast<size_t>(idx);
+    return std::string(field == TextField::kSummary ? d.ReviewSummary(i)
+                                                    : d.ReviewFullText(i));
+  };
+  if (trace != nullptr) {
+    trace->user_id = user_id;
+    trace->choices.clear();
+  }
+  std::vector<std::string> out;
+  for (int rec_idx : source.RecordsOfUser(user_id)) {
+    size_t ri = static_cast<size_t>(rec_idx);
+    AuxReviewChoice choice;
+    choice.source_item = source.ReviewItem(ri);
+    choice.rating = source.ReviewRating(ri);
+    choice.source_review = text_of(source, rec_idx);
+    std::vector<int> like_minded;
+    for (int v : source.UsersWhoRated(choice.source_item, choice.rating)) {
+      if (v != user_id && eligible.count(v) > 0) like_minded.push_back(v);
+    }
+    choice.num_like_minded = static_cast<int>(like_minded.size());
+    if (!like_minded.empty()) {
+      int aux_user = like_minded[rng->UniformU32(
+          static_cast<uint32_t>(like_minded.size()))];
+      choice.like_minded_user = aux_user;
+      data::IdSpan aux_records = target.RecordsOfUser(aux_user);
+      if (!aux_records.empty()) {
+        int aux_idx = aux_records[rng->UniformU32(
+            static_cast<uint32_t>(aux_records.size()))];
+        choice.target_item = target.ReviewItem(static_cast<size_t>(aux_idx));
+        choice.aux_review = text_of(target, aux_idx);
+        out.push_back(choice.aux_review);
+      }
+    }
+    if (trace != nullptr) trace->choices.push_back(std::move(choice));
+  }
+  return out;
+}
+
+void ExpectTracesEqual(const AuxReviewTrace& a, const AuxReviewTrace& b) {
+  EXPECT_EQ(a.user_id, b.user_id);
+  ASSERT_EQ(a.choices.size(), b.choices.size());
+  for (size_t i = 0; i < a.choices.size(); ++i) {
+    EXPECT_EQ(a.choices[i].source_item, b.choices[i].source_item) << i;
+    EXPECT_EQ(a.choices[i].rating, b.choices[i].rating) << i;
+    EXPECT_EQ(a.choices[i].source_review, b.choices[i].source_review) << i;
+    EXPECT_EQ(a.choices[i].num_like_minded, b.choices[i].num_like_minded)
+        << i;
+    EXPECT_EQ(a.choices[i].like_minded_user, b.choices[i].like_minded_user)
+        << i;
+    EXPECT_EQ(a.choices[i].target_item, b.choices[i].target_item) << i;
+    EXPECT_EQ(a.choices[i].aux_review, b.choices[i].aux_review) << i;
+  }
+}
+
+TEST(AuxReviewTest, CsrPathBitIdenticalToReferenceScanOnTable2Config) {
+  // The Table-2 pin: on the AmazonLike world, every cold user's trace —
+  // choices, picked users, borrowed texts — must match the reference scan
+  // implementation exactly, RNG draw for RNG draw.
+  data::SyntheticWorld world(data::SyntheticConfig::AmazonLike());
+  data::CrossDomainDataset cross = world.MakePair("Books", "Movies");
+  Rng split_rng(1);
+  data::ColdStartSplit split = data::MakeColdStartSplit(cross, &split_rng);
+  AuxReviewGenerator generator(&cross, split.train_users);
+
+  Rng rng_csr(2024), rng_ref(2024);
+  for (int user : split.test_users) {
+    AuxReviewTrace trace_csr, trace_ref;
+    auto reviews_csr = generator.GenerateForUser(user, &rng_csr, &trace_csr);
+    auto reviews_ref =
+        ReferenceScanGenerate(cross, split.train_users, TextField::kSummary,
+                              user, &rng_ref, &trace_ref);
+    EXPECT_EQ(reviews_csr, reviews_ref) << "user " << user;
+    ExpectTracesEqual(trace_csr, trace_ref);
+  }
+  // Both paths consumed the same number of draws: the streams stay aligned.
+  EXPECT_EQ(rng_csr.NextU32(), rng_ref.NextU32());
+}
+
+TEST(AuxReviewTest, SelfExclusionBitIdenticalWhenColdUserIsEligible) {
+  // The index-remapping edge case: the generated-for user sits inside the
+  // eligible bucket (self-simulation during training). Cover self at the
+  // bucket's front, middle and back.
+  data::CrossDomainDataset cross = CaseStudyCross();
+  std::vector<int> eligible = {0, 1, 2, 3, 4};
+  AuxReviewGenerator generator(&cross, eligible);
+  for (int user : {0, 1, 2}) {
+    for (uint64_t seed = 0; seed < 40; ++seed) {
+      Rng rng_csr(seed), rng_ref(seed);
+      AuxReviewTrace trace_csr, trace_ref;
+      auto reviews_csr =
+          generator.GenerateForUser(user, &rng_csr, &trace_csr);
+      auto reviews_ref = ReferenceScanGenerate(
+          cross, eligible, TextField::kSummary, user, &rng_ref, &trace_ref);
+      EXPECT_EQ(reviews_csr, reviews_ref) << "user " << user << " seed "
+                                          << seed;
+      ExpectTracesEqual(trace_csr, trace_ref);
+    }
+  }
+}
+
+TEST(AuxReviewTest, ParallelGenerateAllMatchesPerUserSeeds) {
+  data::SyntheticConfig config;
+  config.num_users = 80;
+  config.items_per_domain = 40;
+  config.seed = 9;
+  data::SyntheticWorld world(config);
+  data::CrossDomainDataset cross = world.MakePair("Books", "Movies");
+  Rng split_rng(1);
+  data::ColdStartSplit split = data::MakeColdStartSplit(cross, &split_rng);
+  AuxReviewGenerator generator(&cross, split.train_users);
+
+  const uint64_t base_seed = 0xfeedULL;
+  auto parallel = generator.GenerateAll(split.test_users, base_seed);
+  ASSERT_EQ(parallel.size(), split.test_users.size());
+  for (size_t i = 0; i < split.test_users.size(); ++i) {
+    int u = split.test_users[i];
+    Rng rng(AuxReviewGenerator::PerUserSeed(base_seed, u));
+    EXPECT_EQ(parallel[i], generator.GenerateForUser(u, &rng)) << "user " << u;
+  }
+}
+
+TEST(AuxReviewTest, ParallelGenerateAllIsThreadCountInvariant) {
+  data::SyntheticConfig config;
+  config.num_users = 100;
+  config.items_per_domain = 30;
+  config.seed = 13;
+  data::SyntheticWorld world(config);
+  data::CrossDomainDataset cross = world.MakePair("Books", "Movies");
+  Rng split_rng(2);
+  data::ColdStartSplit split = data::MakeColdStartSplit(cross, &split_rng);
+  AuxReviewGenerator generator(&cross, split.train_users);
+
+  SetNumThreads(1);
+  auto serial = generator.GenerateAll(split.test_users, 42u);
+  SetNumThreads(4);
+  auto parallel = generator.GenerateAll(split.test_users, 42u);
+  SetNumThreads(0);
+  EXPECT_EQ(serial, parallel);
 }
 
 }  // namespace

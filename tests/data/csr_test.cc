@@ -1,0 +1,156 @@
+#include "data/csr.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/threadpool.h"
+#include "gtest/gtest.h"
+
+namespace omnimatch {
+namespace data {
+namespace {
+
+/// Reference model: the map-of-vectors structure CsrIndex replaces.
+std::map<int, std::vector<int>> ReferenceIndex(const std::vector<int>& keys,
+                                               const std::vector<int>& values,
+                                               bool sort_unique) {
+  std::map<int, std::vector<int>> ref;
+  for (size_t i = 0; i < keys.size(); ++i) ref[keys[i]].push_back(values[i]);
+  if (sort_unique) {
+    for (auto& [k, v] : ref) {
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+    }
+  }
+  return ref;
+}
+
+void ExpectMatchesReference(const CsrIndex<int>& index,
+                            const std::map<int, std::vector<int>>& ref) {
+  ASSERT_EQ(index.num_keys(), ref.size());
+  size_t k = 0;
+  for (const auto& [key, bucket] : ref) {
+    EXPECT_EQ(index.keys()[k], key);
+    EXPECT_EQ(index.ValuesAt(k), bucket) << "key " << key;
+    EXPECT_EQ(index.Find(key), bucket) << "key " << key;
+    ++k;
+  }
+  EXPECT_TRUE(index.Find(-12345).empty());
+}
+
+TEST(CsrIndexTest, EmptyIndex) {
+  CsrIndex<int> index;
+  EXPECT_EQ(index.num_keys(), 0u);
+  EXPECT_TRUE(index.Find(0).empty());
+  EXPECT_FALSE(index.Contains(0));
+
+  CsrIndex<int> built = CsrIndex<int>::Build(
+      0, [](size_t) { return 0; }, [](size_t) { return 0; }, false);
+  EXPECT_EQ(built.num_keys(), 0u);
+  EXPECT_TRUE(built.Find(0).empty());
+}
+
+TEST(CsrIndexTest, PreservesRecordOrderWithinBucket) {
+  // key 7 sees values in record order 5, 3, 9 — not sorted.
+  std::vector<int> keys = {7, 2, 7, 7};
+  std::vector<int> values = {5, 1, 3, 9};
+  CsrIndex<int> index = CsrIndex<int>::Build(
+      keys.size(), [&](size_t i) { return keys[i]; },
+      [&](size_t i) { return values[i]; }, /*sort_unique_values=*/false);
+  EXPECT_EQ(index.Find(7), (std::vector<int>{5, 3, 9}));
+  EXPECT_EQ(index.Find(2), (std::vector<int>{1}));
+}
+
+TEST(CsrIndexTest, SortUniqueDeduplicatesBuckets) {
+  std::vector<int> keys = {4, 4, 4, 4, 1};
+  std::vector<int> values = {9, 2, 9, 2, 2};
+  CsrIndex<int> index = CsrIndex<int>::Build(
+      keys.size(), [&](size_t i) { return keys[i]; },
+      [&](size_t i) { return values[i]; }, /*sort_unique_values=*/true);
+  EXPECT_EQ(index.Find(4), (std::vector<int>{2, 9}));
+  EXPECT_EQ(index.Find(1), (std::vector<int>{2}));
+}
+
+TEST(CsrIndexTest, RandomizedAgainstReferenceModel) {
+  Rng rng(991);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Sizes straddle the 32768-records-per-shard boundary in some trials so
+    // both the single-shard and multi-shard merge paths are exercised.
+    size_t n = 1 + rng.UniformU32(trial % 4 == 0 ? 70000 : 500);
+    int key_range = 1 + static_cast<int>(rng.UniformU32(64));
+    std::vector<int> keys(n), values(n);
+    for (size_t i = 0; i < n; ++i) {
+      keys[i] = static_cast<int>(rng.UniformU32(
+          static_cast<uint32_t>(key_range)));
+      values[i] = static_cast<int>(rng.UniformU32(1000));
+    }
+    bool sort_unique = trial % 2 == 0;
+    CsrIndex<int> index = CsrIndex<int>::Build(
+        n, [&](size_t i) { return keys[i]; },
+        [&](size_t i) { return values[i]; }, sort_unique);
+    ExpectMatchesReference(index,
+                          ReferenceIndex(keys, values, sort_unique));
+  }
+}
+
+TEST(CsrIndexTest, BuildIsThreadCountInvariant) {
+  Rng rng(17);
+  size_t n = 50000;
+  std::vector<long long> keys(n);
+  std::vector<int> values(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = static_cast<long long>(rng.UniformU32(300)) * 16 +
+              rng.UniformU32(10);
+    values[i] = static_cast<int>(rng.UniformU32(2000));
+  }
+  auto build = [&]() {
+    return CsrIndex<long long>::Build(
+        n, [&](size_t i) { return keys[i]; },
+        [&](size_t i) { return values[i]; }, /*sort_unique_values=*/true);
+  };
+  SetNumThreads(1);
+  CsrIndex<long long> serial = build();
+  SetNumThreads(4);
+  CsrIndex<long long> parallel = build();
+  SetNumThreads(0);  // back to default
+  EXPECT_EQ(serial.keys(), parallel.keys());
+  EXPECT_EQ(serial.offsets(), parallel.offsets());
+  EXPECT_EQ(serial.values(), parallel.values());
+}
+
+TEST(CsrIndexTest, FilterKeepsKeysAndDropsValues) {
+  std::vector<int> keys = {1, 1, 1, 2, 3, 3};
+  std::vector<int> values = {10, 11, 12, 11, 13, 10};
+  CsrIndex<int> index = CsrIndex<int>::Build(
+      keys.size(), [&](size_t i) { return keys[i]; },
+      [&](size_t i) { return values[i]; }, /*sort_unique_values=*/true);
+  CsrIndex<int> even =
+      CsrIndex<int>::Filter(index, [](int v) { return v % 2 == 0; });
+  // Key set preserved even when a bucket empties.
+  ASSERT_EQ(even.keys(), index.keys());
+  EXPECT_EQ(even.Find(1), (std::vector<int>{10, 12}));
+  EXPECT_TRUE(even.Find(2).empty());
+  EXPECT_EQ(even.Find(3), (std::vector<int>{10}));
+
+  CsrIndex<int> none = CsrIndex<int>::Filter(index, [](int) { return false; });
+  ASSERT_EQ(none.keys(), index.keys());
+  EXPECT_TRUE(none.values().empty());
+}
+
+TEST(IdSpanTest, ComparesAndPrints) {
+  std::vector<int> v = {1, 5, 9};
+  IdSpan s(v.data(), v.size());
+  EXPECT_EQ(s, v);
+  EXPECT_EQ(v, s);
+  EXPECT_NE(s, IdSpan());
+  std::ostringstream os;
+  os << s;
+  EXPECT_EQ(os.str(), "[1, 5, 9]");
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace omnimatch

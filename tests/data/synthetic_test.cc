@@ -171,6 +171,42 @@ TEST(SyntheticTest, ParticipationControlsDomainMembership) {
             static_cast<size_t>(c.num_users));
 }
 
+TEST(SyntheticTest, StreamDomainMatchesMaterializedRecords) {
+  SyntheticConfig c = TinyConfig(77);
+  SyntheticWorld materialized(c);
+  SyntheticWorld deferred(c, {"Books", "Movies", "Music"},
+                          /*materialize=*/false);
+  for (const auto& name : materialized.domain_names()) {
+    const DomainDataset& mem = materialized.domain(name);
+    size_t i = 0;
+    // Both worlds stream; the deferred one never built a dataset at all.
+    deferred.StreamDomain(name, [&](Review&& r) {
+      ASSERT_LT(i, mem.num_reviews());
+      EXPECT_EQ(r.user_id, mem.ReviewUser(i));
+      EXPECT_EQ(r.item_id, mem.ReviewItem(i));
+      EXPECT_EQ(r.rating, mem.ReviewRating(i));
+      EXPECT_EQ(r.summary, mem.ReviewSummary(i));
+      EXPECT_EQ(r.full_text, mem.ReviewFullText(i));
+      ++i;
+    });
+    EXPECT_EQ(i, mem.num_reviews()) << name;
+  }
+}
+
+TEST(SyntheticTest, StreamDomainIsRepeatable) {
+  SyntheticWorld world(TinyConfig(78), {"Books", "Movies"},
+                       /*materialize=*/false);
+  std::vector<Review> first, second;
+  world.StreamDomain("Movies", [&](Review&& r) { first.push_back(r); });
+  world.StreamDomain("Movies", [&](Review&& r) { second.push_back(r); });
+  ASSERT_EQ(first.size(), second.size());
+  ASSERT_FALSE(first.empty());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].user_id, second[i].user_id);
+    EXPECT_EQ(first[i].summary, second[i].summary);
+  }
+}
+
 }  // namespace
 }  // namespace data
 }  // namespace omnimatch
