@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Full verification matrix: Release build + tests, then the thread pool and
-# nn kernels under ThreadSanitizer, AddressSanitizer and UBSan.
+# nn kernels under ThreadSanitizer, AddressSanitizer and UBSan, plus a
+# serve-path fault-injection lane that re-runs the serving suite with every
+# probe point armed via OMNIMATCH_FAULTS.
 #
 #   scripts/check.sh            # everything
 #   scripts/check.sh release    # just the Release build + full ctest
@@ -12,6 +14,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 MODE="${1:-all}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
+
+# Arms every serve-path probe point (common/fault.h): one rejected
+# admission, forced cached-only and global-mean batches, two slow batches,
+# and a failing snapshot swap. ServeFaultEnvTest asserts the server answers
+# every request with an explicit status and keeps serving throughout.
+SERVE_FAULTS="queue_admit@2:count=2;executor_score@3:mag=1,count=2;executor_score@8:mag=2,count=2;serve_slow@5:mag=20,count=2;snapshot_load@0"
 
 run_release() {
   echo "=== Release build + full test suite ==="
@@ -25,11 +33,17 @@ run_release() {
   # meaningful on loaded CI runners.
   ./build/bench/bench_graph --reps=3 --check_speedup_min=1.0 \
     --out=build/BENCH_graph.json
-  echo "=== Serving runtime smoke benchmark ==="
-  # Self-checking: fails unless every request resolved to a finite score,
-  # the latency histogram saw all of them, and percentiles are ordered.
+  echo "=== Serving runtime smoke benchmark (overload + hot swap) ==="
+  # Self-checking: fails unless every request resolved (zero drops), every
+  # response was bit-identical to the single-threaded reference for its
+  # snapshot version or explicitly degraded/rejected, the overload phase's
+  # fallback-tier p99 stayed within budget, and the mid-traffic swap ledger
+  # reads exactly one install + two rollbacks (corrupt and injected).
   ./build/bench/bench_serve --smoke --check \
     --out=build/BENCH_serve.json
+  echo "=== Serve fault-injection lane (release) ==="
+  OMNIMATCH_FAULTS="${SERVE_FAULTS}" ./build/tests/serve_fault_test \
+    --gtest_filter='ServeFaultEnvTest.*'
   echo "=== Algorithm-1 index smoke benchmark ==="
   # Self-checking: fails unless the CSR like-minded path is bit-identical
   # to the retired scan path on the Table-2 config and at least matches its
@@ -54,12 +68,15 @@ run_release() {
 # pool, the blocked GEMM, every parallel op, the recorded-graph executor
 # (record/replay/arena, in nn_test), the sharded metrics / trace-ring
 # concurrency tests through common_test/nn_test/obs_test, and the inference
-# server's request-thread/executor/cache handoffs through serve_test (the
-# concurrent-submitter bit-identity test is the interesting one); ASan and
-# UBSan additionally run the trainer-level suites — including the
-# fault-injection tests and the graph-vs-eager trainer equivalence tests,
-# so every guard rollback/retry path and the compiled replay path are
-# walked under instrumentation.
+# server's request-thread/executor-pool/cache/hot-swap handoffs through
+# serve_test + serve_fault_test (the concurrent-submitter bit-identity test
+# and the swap-under-traffic version-consistency test are the interesting
+# ones); ASan and UBSan additionally run the trainer-level suites —
+# including the fault-injection tests and the graph-vs-eager trainer
+# equivalence tests, so every guard rollback/retry path and the compiled
+# replay path are walked under instrumentation. Each sanitizer lane then
+# re-runs the serving suite's env-fault test with every serve probe point
+# armed, so the degraded/rollback paths themselves run instrumented.
 run_sanitizer() {
   local kind="$1" dir="build-$1" ; shift
   echo "=== ${kind} build (${dir}) ==="
@@ -72,18 +89,21 @@ run_sanitizer() {
     echo "--- ${kind}: ${t} ---"
     "./${dir}/tests/${t}"
   done
+  echo "--- ${kind}: serve fault-injection lane ---"
+  OMNIMATCH_FAULTS="${SERVE_FAULTS}" "./${dir}/tests/serve_fault_test" \
+    --gtest_filter='ServeFaultEnvTest.*'
 }
 
 case "${MODE}" in
   release) run_release ;;
-  tsan)    run_sanitizer thread common_test nn_test obs_test serve_test ;;
-  asan)    run_sanitizer address common_test nn_test core_test obs_test serve_test ;;
-  ubsan)   run_sanitizer undefined common_test nn_test core_test obs_test serve_test ;;
+  tsan)    run_sanitizer thread common_test nn_test obs_test serve_test serve_fault_test ;;
+  asan)    run_sanitizer address common_test nn_test core_test obs_test serve_test serve_fault_test ;;
+  ubsan)   run_sanitizer undefined common_test nn_test core_test obs_test serve_test serve_fault_test ;;
   all)
     run_release
-    run_sanitizer thread common_test nn_test obs_test serve_test
-    run_sanitizer address common_test nn_test core_test obs_test serve_test
-    run_sanitizer undefined common_test nn_test core_test obs_test serve_test
+    run_sanitizer thread common_test nn_test obs_test serve_test serve_fault_test
+    run_sanitizer address common_test nn_test core_test obs_test serve_test serve_fault_test
+    run_sanitizer undefined common_test nn_test core_test obs_test serve_test serve_fault_test
     ;;
   *) echo "usage: $0 [all|release|tsan|asan|ubsan]" >&2 ; exit 2 ;;
 esac

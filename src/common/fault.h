@@ -47,6 +47,12 @@ struct FaultHit {
 ///   "loss"             — after the forward: multiply the step loss
 ///   "param"            — after the optimizer step: corrupt one parameter
 ///   "checkpoint_write" — fail a checkpoint save with IoError
+/// Serving path (counter-based; see serve/server.h, serve/snapshot_manager.h):
+///   "queue_admit"      — reject one admission as Overloaded
+///   "executor_score"   — force one batch onto a degraded tier
+///                        (mag>=2: global-mean, else cached-only)
+///   "serve_slow"       — sleep mag ms (default 10) before scoring a batch
+///   "snapshot_load"    — fail one snapshot swap validation (rollback)
 ///
 /// Spec string grammar (semicolon-separated, whitespace ignored):
 ///   point@step[:key=value[,key=value]...]

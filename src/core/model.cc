@@ -158,6 +158,14 @@ Tensor OmniMatchModel::DomainLogitsSpecific(const Tensor& specific_features) {
   return domain_classifier_specific_->Forward(specific_features);
 }
 
+void OmniMatchModel::SetTrainingMode(bool training) {
+  set_training(training);
+  projection_->set_training(training);
+  domain_classifier_invariant_->set_training(training);
+  domain_classifier_specific_->set_training(training);
+  rating_classifier_->set_training(training);
+}
+
 std::vector<Tensor> OmniMatchModel::Parameters() const {
   return nn::CollectParameters({
       embed_.get(),

@@ -68,6 +68,15 @@ class OmniMatchModel : public nn::Module {
 
   std::vector<nn::Tensor> Parameters() const override;
 
+  /// Sets train/eval mode on this module AND every submodule that keeps its
+  /// own flag (the four Mlps propagate lazily per forward call otherwise).
+  /// A model that will run its forward concurrently on several scoring
+  /// threads (src/serve multi-executor pool) MUST be switched with this
+  /// before being shared: afterwards the lazy per-forward set_training
+  /// calls are equality-guarded no-op reads, so concurrent eval forwards
+  /// never write shared module state.
+  void SetTrainingMode(bool training);
+
   const OmniMatchConfig& config() const { return config_; }
   int vocab_size() const { return vocab_size_; }
 

@@ -37,8 +37,15 @@ class Module {
     return n;
   }
 
-  /// Switches train/eval behaviour (dropout).
-  void set_training(bool training) { training_ = training; }
+  /// Switches train/eval behaviour (dropout). Writes only on an actual
+  /// change: forward paths re-assert the current mode on every call, and
+  /// the equality guard makes that re-assertion a pure read — which is what
+  /// lets a frozen inference model (core::OmniMatchModel::SetTrainingMode
+  /// pre-sets every submodule) run its forward on several scoring threads
+  /// at once without racing on these flags.
+  void set_training(bool training) {
+    if (training_ != training) training_ = training;
+  }
   bool training() const { return training_; }
 
  protected:

@@ -23,6 +23,11 @@ obs::Counter* EvictionCounter() {
       obs::MetricsRegistry::Global().GetCounter("serve.cache_evictions");
   return c;
 }
+obs::Counter* StaleEvictionCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("serve.cache.stale_evictions");
+  return c;
+}
 }  // namespace
 
 UserEmbeddingCache::UserEmbeddingCache(size_t capacity)
@@ -63,6 +68,25 @@ void UserEmbeddingCache::Put(uint64_t snapshot_version, int user_id,
   }
 }
 
+size_t UserEmbeddingCache::EvictStaleVersions(uint64_t keep_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t evicted = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.version == keep_version) {
+      ++it;
+      continue;
+    }
+    index_.erase(it->key);
+    it = lru_.erase(it);
+    ++evicted;
+  }
+  if (evicted > 0) {
+    stale_evictions_ += static_cast<int64_t>(evicted);
+    StaleEvictionCounter()->Add(static_cast<int64_t>(evicted));
+  }
+  return evicted;
+}
+
 size_t UserEmbeddingCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return lru_.size();
@@ -81,6 +105,11 @@ int64_t UserEmbeddingCache::misses() const {
 int64_t UserEmbeddingCache::evictions() const {
   std::lock_guard<std::mutex> lock(mu_);
   return evictions_;
+}
+
+int64_t UserEmbeddingCache::stale_evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stale_evictions_;
 }
 
 }  // namespace serve

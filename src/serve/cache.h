@@ -34,9 +34,10 @@ struct UserEntry {
 /// the version means a cache surviving a snapshot swap can never serve
 /// stale representations: old entries simply miss and age out.
 ///
-/// Thread-safe (one mutex — the cache is consulted once per request by the
-/// server's executor thread, so contention is nil; the lock exists so
-/// tests and future multi-executor setups stay correct). Entries are
+/// Thread-safe (one mutex): every executor in the server's pool consults it
+/// concurrently, and a snapshot swap evicts stale versions from yet another
+/// thread. Lookups are one hash probe + a list splice, so the critical
+/// section stays tiny next to the model forwards around it. Entries are
 /// shared_ptr<const ...>: a looked-up entry stays valid even if evicted
 /// mid-use.
 class UserEmbeddingCache {
@@ -52,12 +53,22 @@ class UserEmbeddingCache {
   void Put(uint64_t snapshot_version, int user_id,
            std::shared_ptr<const UserEntry> entry);
 
+  /// Evicts every entry whose version differs from `keep_version`, in one
+  /// pass. Called on a snapshot hot-swap: version-keying already guarantees
+  /// stale entries can never be SERVED, but without this they would occupy
+  /// capacity until LRU pressure aged them out — on a large cache that is
+  /// most of the working set going dead at once. Counted separately from
+  /// capacity evictions (stale_evictions / serve.cache.stale_evictions).
+  /// Returns the number of entries evicted.
+  size_t EvictStaleVersions(uint64_t keep_version);
+
   size_t size() const;
   size_t capacity() const { return capacity_; }
 
   int64_t hits() const;
   int64_t misses() const;
   int64_t evictions() const;
+  int64_t stale_evictions() const;
 
  private:
   struct Key {
@@ -88,6 +99,7 @@ class UserEmbeddingCache {
   int64_t hits_ = 0;
   int64_t misses_ = 0;
   int64_t evictions_ = 0;
+  int64_t stale_evictions_ = 0;
 };
 
 }  // namespace serve

@@ -40,6 +40,16 @@ obs::Counter* FallbackScores() {
       obs::MetricsRegistry::Global().GetCounter("serve.fallback_scores");
   return c;
 }
+obs::Counter* DegradedCached() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("serve.degraded.cached");
+  return c;
+}
+obs::Counter* DegradedFallback() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("serve.degraded.fallback");
+  return c;
+}
 obs::Histogram* ScoreBatchHist() {
   static obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
       "serve.score_batch_ns", obs::Histogram::LatencyBoundsNs());
@@ -67,9 +77,28 @@ Scorer::Scorer(std::shared_ptr<const ModelSnapshot> snapshot,
   OM_CHECK(snapshot_ != nullptr);
 }
 
+std::shared_ptr<const ModelSnapshot> Scorer::CurrentSnapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+void Scorer::SetSnapshot(std::shared_ptr<const ModelSnapshot> snapshot) {
+  OM_CHECK(snapshot != nullptr);
+  const uint64_t keep = snapshot->version();
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = std::move(snapshot);
+  }
+  // After the store: an executor that grabbed the OLD snapshot may still
+  // Put() old-version entries for a moment; they can never be served to a
+  // new-version lookup (version-keying) and the next swap sweeps them too.
+  cache_.EvictStaleVersions(keep);
+}
+
 std::vector<std::shared_ptr<const UserEntry>> Scorer::GetOrAdmit(
-    const std::vector<int>& users) {
-  const uint64_t version = snapshot_->version();
+    const ModelSnapshot& snap, const std::vector<int>& users,
+    bool admit_missing) {
+  const uint64_t version = snap.version();
   std::vector<std::shared_ptr<const UserEntry>> out(users.size());
 
   /// Users missing from the cache, with their per-pass target documents.
@@ -83,22 +112,23 @@ std::vector<std::shared_ptr<const UserEntry>> Scorer::GetOrAdmit(
   for (size_t i = 0; i < users.size(); ++i) {
     out[i] = cache_.Get(version, users[i]);
     if (out[i] != nullptr) continue;
+    if (!admit_missing) continue;  // degraded: leave nullptr, cache untouched
     Pending p;
     p.slot = i;
-    const auto& target_docs = snapshot_->user_target_docs();
+    const auto& target_docs = snap.user_target_docs();
     auto it = target_docs.find(users[i]);
     if (it != target_docs.end()) {
       // Frozen documents: the trainer's primary document plus its ensemble
       // variants, exactly the rows PredictBatch would gather.
       p.docs.push_back(&it->second);
-      const auto& variants = snapshot_->cold_aux_doc_variants();
+      const auto& variants = snap.cold_aux_doc_variants();
       auto vit = variants.find(users[i]);
       if (vit != variants.end()) {
         for (const std::vector<int>& doc : vit->second) p.docs.push_back(&doc);
       }
     } else {
       // Unknown user: Algorithm 1 online, at admission time.
-      p.owned_docs = snapshot_->BuildColdUserDocs(users[i]);
+      p.owned_docs = snap.BuildColdUserDocs(users[i]);
       if (p.owned_docs.empty()) {
         auto entry = std::make_shared<UserEntry>();
         entry->fallback = true;
@@ -114,8 +144,8 @@ std::vector<std::shared_ptr<const UserEntry>> Scorer::GetOrAdmit(
   if (pending.empty()) return out;
 
   obs::TraceSpan span("serve.admit", AdmitHist());
-  const core::OmniMatchConfig& config = snapshot_->config();
-  OmniMatchModel* model = snapshot_->model();
+  const core::OmniMatchConfig& config = snap.config();
+  OmniMatchModel* model = snap.model();
   const int doc_len = config.doc_len;
 
   // Flatten every (user, pass) document into one row list, then extract in
@@ -178,10 +208,10 @@ std::vector<std::shared_ptr<const UserEntry>> Scorer::GetOrAdmit(
       std::vector<int> flat;
       flat.reserve((end - begin) * static_cast<size_t>(doc_len));
       for (size_t p = begin; p < end; ++p) {
-        const auto& source_docs = snapshot_->user_source_docs();
+        const auto& source_docs = snap.user_source_docs();
         auto it = source_docs.find(users[pending[p].slot]);
         const std::vector<int>& doc =
-            it != source_docs.end() ? it->second : snapshot_->pad_user_doc();
+            it != source_docs.end() ? it->second : snap.pad_user_doc();
         flat.insert(flat.end(), doc.begin(), doc.end());
       }
       OmniMatchModel::UserFeatures src = model->ExtractUser(
@@ -213,13 +243,30 @@ std::vector<std::shared_ptr<const UserEntry>> Scorer::GetOrAdmit(
   return out;
 }
 
-std::vector<float> Scorer::ScoreBatch(
-    const std::vector<ScoreRequest>& requests) {
+std::vector<ScoredValue> Scorer::ScoreBatchWith(
+    const std::shared_ptr<const ModelSnapshot>& snap,
+    const std::vector<ScoreRequest>& requests, ScoreMode mode) {
+  OM_CHECK(snap != nullptr);
   if (requests.empty()) return {};
+  const float global_mean = snap->global_mean_rating();
+
+  // Tier 2: shed all model work. No cache traffic either — the point is to
+  // bound the executor's time per batch by a memset-scale loop.
+  if (mode == ScoreMode::kGlobalMean) {
+    DegradedFallback()->Add(static_cast<int64_t>(requests.size()));
+    return std::vector<ScoredValue>(
+        requests.size(),
+        ScoredValue{global_mean, RequestStatus::kDegradedFallback});
+  }
+
   obs::TraceSpan span("serve.score_batch", ScoreBatchHist());
-  const core::OmniMatchConfig& config = snapshot_->config();
-  OmniMatchModel* model = snapshot_->model();
-  model->set_training(false);
+  const core::OmniMatchConfig& config = snap->config();
+  OmniMatchModel* model = snap->model();
+  // Eval mode was pre-set recursively at snapshot load (SetTrainingMode):
+  // asserting it here is a pure read, safe under concurrent executors.
+  OM_CHECK(!model->training());
+
+  const bool admit = mode == ScoreMode::kFull;
 
   // Distinct users (order-preserving), one cache lookup / admission each.
   std::vector<int> users;
@@ -229,18 +276,42 @@ std::vector<float> Scorer::ScoreBatch(
       users.push_back(r.user);
     }
   }
-  std::vector<std::shared_ptr<const UserEntry>> entries = GetOrAdmit(users);
+  std::vector<std::shared_ptr<const UserEntry>> entries =
+      GetOrAdmit(*snap, users, admit);
 
-  std::vector<float> preds(requests.size(), 0.0f);
+  std::vector<ScoredValue> out(requests.size());
+  // Resolves every request with no usable representation rows; the rest
+  // get their tier stamped and are scored below.
+  auto resolve_terminal = [&](size_t i,
+                              const UserEntry* entry) -> bool {
+    if (entry == nullptr) {
+      // Cached-only miss: admission skipped, best effort is the mean.
+      out[i] = {global_mean, RequestStatus::kDegradedFallback};
+      DegradedFallback()->Increment();
+      return true;
+    }
+    if (entry->fallback) {
+      // The user has no records at all: the global mean IS the exact
+      // full-fidelity answer (the trainer's own fallback), whatever tier
+      // we are serving at.
+      out[i] = {global_mean,
+                admit ? RequestStatus::kOk : RequestStatus::kDegradedCached};
+      FallbackScores()->Increment();
+      if (!admit) DegradedCached()->Increment();
+      return true;
+    }
+    return false;
+  };
 
-  // Item representations, one extractor row per DISTINCT item in the batch
-  // (row independence again: the shared row is bit-identical to the
-  // per-request row the trainer would compute).
+  // Item representations, one extractor row per DISTINCT item among the
+  // requests that will reach the rating head (row independence again: the
+  // shared row is bit-identical to the per-request row the trainer would
+  // compute).
   std::vector<int> items;
   std::unordered_map<int, size_t> item_slot;
   for (size_t i = 0; i < requests.size(); ++i) {
-    const UserEntry& entry = *entries[user_slot[requests[i].user]];
-    if (entry.fallback) continue;
+    const UserEntry* entry = entries[user_slot[requests[i].user]].get();
+    if (entry == nullptr || entry->fallback) continue;
     if (item_slot.emplace(requests[i].item, items.size()).second) {
       items.push_back(requests[i].item);
     }
@@ -251,10 +322,10 @@ std::vector<float> Scorer::ScoreBatch(
     std::vector<int> flat;
     flat.reserve((end - begin) * static_cast<size_t>(config.item_doc_len));
     for (size_t i = begin; i < end; ++i) {
-      const auto& docs = snapshot_->item_docs();
+      const auto& docs = snap->item_docs();
       auto it = docs.find(items[i]);
       const std::vector<int>& doc =
-          it != docs.end() ? it->second : snapshot_->pad_item_doc();
+          it != docs.end() ? it->second : snap->pad_item_doc();
       flat.insert(flat.end(), doc.begin(), doc.end());
     }
     Tensor rep = model->ExtractItem(flat, static_cast<int>(end - begin));
@@ -273,28 +344,28 @@ std::vector<float> Scorer::ScoreBatch(
   std::vector<size_t> head_request;
   std::vector<float> weight(requests.size(), 0.0f);
   for (size_t i = 0; i < requests.size(); ++i) {
-    const UserEntry& entry = *entries[user_slot[requests[i].user]];
-    if (entry.fallback) {
-      preds[i] = snapshot_->global_mean_rating();
-      FallbackScores()->Increment();
-      continue;
-    }
+    const std::shared_ptr<const UserEntry>& entry =
+        entries[user_slot[requests[i].user]];
+    if (resolve_terminal(i, entry.get())) continue;
+    out[i].status =
+        admit ? RequestStatus::kOk : RequestStatus::kDegradedCached;
+    if (!admit) DegradedCached()->Increment();
     const std::vector<float>& item_row =
         item_rows[item_slot[requests[i].item]];
-    const int passes = entry.passes();
+    const int passes = entry->passes();
     weight[i] = 1.0f / static_cast<float>(passes * readouts);
     for (int k = 0; k < passes; ++k) {
-      head_user_rows.push_back(&entry.rep_rows[static_cast<size_t>(k)]);
+      head_user_rows.push_back(&entry->rep_rows[static_cast<size_t>(k)]);
       head_item_rows.push_back(&item_row);
       head_request.push_back(i);
       if (config.use_hybrid_inference) {
-        head_user_rows.push_back(&entry.hybrid_rows[static_cast<size_t>(k)]);
+        head_user_rows.push_back(&entry->hybrid_rows[static_cast<size_t>(k)]);
         head_item_rows.push_back(&item_row);
         head_request.push_back(i);
       }
     }
   }
-  if (head_user_rows.empty()) return preds;
+  if (head_user_rows.empty()) return out;
 
   const int user_width = static_cast<int>(head_user_rows[0]->size());
   const int item_width = static_cast<int>(head_item_rows[0]->size());
@@ -329,9 +400,18 @@ std::vector<float> Scorer::ScoreBatch(
         weighted += e * (c + 1);
       }
       const size_t req = head_request[begin + static_cast<size_t>(r)];
-      preds[req] += weight[req] * static_cast<float>(weighted / sum);
+      out[req].score += weight[req] * static_cast<float>(weighted / sum);
     }
   }
+  return out;
+}
+
+std::vector<float> Scorer::ScoreBatch(
+    const std::vector<ScoreRequest>& requests) {
+  std::vector<ScoredValue> scored =
+      ScoreBatchWith(CurrentSnapshot(), requests, ScoreMode::kFull);
+  std::vector<float> preds(scored.size());
+  for (size_t i = 0; i < scored.size(); ++i) preds[i] = scored[i].score;
   return preds;
 }
 

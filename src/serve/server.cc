@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -29,10 +30,25 @@ obs::Counter* BatchCounter() {
       obs::MetricsRegistry::Global().GetCounter("serve.batches");
   return c;
 }
-obs::Histogram* RequestHist() {
-  static obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
-      "serve.request_ns", obs::Histogram::LatencyBoundsNs());
-  return h;
+obs::Counter* DeadlineCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("serve.deadline_exceeded");
+  return c;
+}
+obs::Counter* OverloadedCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("serve.rejected.overloaded");
+  return c;
+}
+obs::Counter* ShutdownCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("serve.rejected.shutdown");
+  return c;
+}
+obs::Counter* SwapCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("serve.snapshot_swaps");
+  return c;
 }
 obs::Histogram* QueueWaitHist() {
   static obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
@@ -45,6 +61,35 @@ obs::Histogram* BatchSizeHist() {
       std::vector<double>{1, 2, 4, 8, 16, 32, 64, 128, 256});
   return h;
 }
+/// End-to-end request latency, one histogram per degradation tier so an
+/// overloaded server's cheap fallback answers don't mask the full tier's
+/// tail (and vice versa).
+obs::Histogram* RequestHistFull() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.request_ns.full", obs::Histogram::LatencyBoundsNs());
+  return h;
+}
+obs::Histogram* RequestHistCached() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.request_ns.degraded_cached", obs::Histogram::LatencyBoundsNs());
+  return h;
+}
+obs::Histogram* RequestHistFallback() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.request_ns.degraded_fallback", obs::Histogram::LatencyBoundsNs());
+  return h;
+}
+
+obs::Histogram* TierHist(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kOk:
+      return RequestHistFull();
+    case RequestStatus::kDegradedCached:
+      return RequestHistCached();
+    default:
+      return RequestHistFallback();
+  }
+}
 
 }  // namespace
 
@@ -55,28 +100,75 @@ InferenceServer::InferenceServer(
                                        options.cache_capacity)) {
   OM_CHECK_GE(options_.max_batch, 1);
   OM_CHECK_GE(options_.linger_us, 0);
-  executor_ = std::thread([this] { ExecutorLoop(); });
+  OM_CHECK_GE(options_.executors, 1);
+  OM_CHECK_GE(options_.deadline_ms, 0);
+  OM_CHECK_GT(options_.degrade_cached_fill, 0.0);
+  OM_CHECK_GE(options_.degrade_fallback_fill, options_.degrade_cached_fill);
+  executors_.reserve(static_cast<size_t>(options_.executors));
+  for (int i = 0; i < options_.executors; ++i) {
+    executors_.emplace_back([this] { ExecutorLoop(); });
+  }
 }
 
 InferenceServer::~InferenceServer() { Shutdown(); }
 
-std::future<float> InferenceServer::ScoreAsync(int user, int item) {
+std::future<ScoreResult> InferenceServer::ScoreAsync(int user, int item) {
   Pending p;
   p.user = user;
   p.item = item;
   p.enqueue_ns = NowNs();
-  std::future<float> result = p.result.get_future();
+  if (options_.deadline_ms > 0) {
+    p.deadline_ns = p.enqueue_ns + options_.deadline_ms * 1000000;
+  }
+  std::future<ScoreResult> result = p.result.get_future();
+
+  // Rejections resolve the future immediately — a caller that submitted is
+  // ALWAYS answered, the answer just says why no score is coming.
+  RequestStatus reject = RequestStatus::kOk;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    OM_CHECK(!stopping_) << "ScoreAsync after Shutdown";
-    queue_.push_back(std::move(p));
+    if (stopping_) {
+      reject = RequestStatus::kShuttingDown;
+      ++stats_.rejected_shutdown;
+    } else if ((options_.max_queue > 0 &&
+                queue_.size() >= options_.max_queue) ||
+               FaultInjector::Global().ShouldFire("queue_admit")) {
+      reject = RequestStatus::kOverloaded;
+      ++stats_.rejected_overloaded;
+    } else {
+      queue_.push_back(std::move(p));
+    }
+  }
+  if (reject != RequestStatus::kOk) {
+    if (obs::MetricsEnabled()) {
+      (reject == RequestStatus::kShuttingDown ? ShutdownCounter()
+                                              : OverloadedCounter())
+          ->Increment();
+    }
+    ScoreResult r;
+    r.status = reject;
+    p.result.set_value(r);
+    return result;
   }
   cv_.notify_all();
   return result;
 }
 
 float InferenceServer::Score(int user, int item) {
-  return ScoreAsync(user, item).get();
+  ScoreResult r = ScoreAsync(user, item).get();
+  OM_CHECK(r.has_score()) << "Score() request ended " <<
+      RequestStatusName(r.status) << "; use ScoreAsync to handle rejection";
+  return r.score;
+}
+
+void InferenceServer::SwapSnapshot(
+    std::shared_ptr<const ModelSnapshot> snapshot) {
+  scorer_->SetSnapshot(std::move(snapshot));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.snapshot_swaps;
+  }
+  if (obs::MetricsEnabled()) SwapCounter()->Increment();
 }
 
 void InferenceServer::Shutdown() {
@@ -85,13 +177,27 @@ void InferenceServer::Shutdown() {
     stopping_ = true;
   }
   cv_.notify_all();
-  // Never joined under the lock: the executor needs it to drain and exit.
-  if (executor_.joinable()) executor_.join();
+  // Never joined under the lock: executors need it to drain and exit.
+  for (std::thread& t : executors_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+ScoreMode InferenceServer::PickMode(size_t queued) const {
+  if (options_.max_queue > 0) {
+    const double fill = static_cast<double>(queued) /
+                        static_cast<double>(options_.max_queue);
+    if (fill >= options_.degrade_fallback_fill) return ScoreMode::kGlobalMean;
+    if (fill >= options_.degrade_cached_fill) return ScoreMode::kCachedOnly;
+  }
+  return ScoreMode::kFull;
 }
 
 void InferenceServer::ExecutorLoop() {
   std::vector<Pending> batch;
+  std::vector<Pending> expired;
   while (true) {
+    ScoreMode mode = ScoreMode::kFull;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -110,20 +216,58 @@ void InferenceServer::ExecutorLoop() {
           });
         }
       }
-      const int take = std::min<int>(options_.max_batch,
-                                     static_cast<int>(queue_.size()));
+      // Tier from the PRE-POP fill level: the pressure that queued these
+      // requests is what degradation should react to. (Another executor may
+      // have raced us to the front — a now-empty queue just loops around.)
+      mode = PickMode(queue_.size());
+      const int64_t now_ns = NowNs();
       batch.clear();
-      batch.reserve(static_cast<size_t>(take));
-      for (int i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
+      expired.clear();
+      while (static_cast<int>(batch.size()) < options_.max_batch &&
+             !queue_.empty()) {
+        Pending p = std::move(queue_.front());
         queue_.pop_front();
+        // A request already past its deadline is answered here, unscored:
+        // the caller has given up, model time on it is pure waste.
+        if (p.deadline_ns > 0 && now_ns > p.deadline_ns) {
+          ++stats_.deadline_exceeded;
+          expired.push_back(std::move(p));
+          continue;
+        }
+        batch.push_back(std::move(p));
       }
     }
-    if (!batch.empty()) RunBatch(&batch);
+    for (Pending& p : expired) {
+      if (obs::MetricsEnabled()) DeadlineCounter()->Increment();
+      ScoreResult r;
+      r.status = RequestStatus::kDeadlineExceeded;
+      p.result.set_value(r);
+    }
+    if (batch.empty()) continue;
+
+    // Injected faults: a deliberately slow batch, or a forced degraded
+    // tier — both exercised by tests and the bench's fault phases.
+    FaultHit hit;
+    if (FaultInjector::Global().ShouldFire("serve_slow", &hit)) {
+      const int64_t ms =
+          hit.magnitude > 0 ? static_cast<int64_t>(hit.magnitude) : 10;
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
+    if (FaultInjector::Global().ShouldFire("executor_score", &hit)) {
+      mode = hit.magnitude >= 2.0 ? ScoreMode::kGlobalMean
+                                  : ScoreMode::kCachedOnly;
+    }
+
+    // Pin the snapshot for the whole batch: a swap landing mid-batch takes
+    // effect from the NEXT dispatch, and every response reports the version
+    // that actually produced it.
+    RunBatch(scorer_->CurrentSnapshot(), &batch, mode);
   }
 }
 
-void InferenceServer::RunBatch(std::vector<Pending>* batch) {
+void InferenceServer::RunBatch(
+    const std::shared_ptr<const ModelSnapshot>& snap,
+    std::vector<Pending>* batch, ScoreMode mode) {
   const int64_t start_ns = NowNs();
   const bool metrics = obs::MetricsEnabled();
   if (metrics) {
@@ -139,33 +283,63 @@ void InferenceServer::RunBatch(std::vector<Pending>* batch) {
     requests[i].user = (*batch)[i].user;
     requests[i].item = (*batch)[i].item;
   }
-  std::vector<float> preds = scorer_->ScoreBatch(requests);
-  OM_CHECK_EQ(preds.size(), batch->size());
+  std::vector<ScoredValue> scored =
+      scorer_->ScoreBatchWith(snap, requests, mode);
+  OM_CHECK_EQ(scored.size(), batch->size());
 
   const int64_t end_ns = NowNs();
+  std::vector<ScoreResult> results(batch->size());
+  Stats delta;
   for (size_t i = 0; i < batch->size(); ++i) {
+    ScoreResult& r = results[i];
+    r.score = scored[i].score;
+    r.status = scored[i].status;
+    r.snapshot_version = snap->version();
+    switch (r.status) {
+      case RequestStatus::kOk:
+        ++delta.served_full;
+        break;
+      case RequestStatus::kDegradedCached:
+        ++delta.served_degraded_cached;
+        break;
+      default:
+        ++delta.served_degraded_fallback;
+        break;
+    }
     if (metrics) {
       RequestCounter()->Increment();
-      RequestHist()->Observe(
+      TierHist(r.status)->Observe(
           static_cast<double>(end_ns - (*batch)[i].enqueue_ns));
     }
-    (*batch)[i].result.set_value(preds[i]);
   }
+  // Stats land BEFORE the promises: a caller that has observed its response
+  // never reads a stats() snapshot that hasn't accounted for it yet.
   {
     std::lock_guard<std::mutex> lock(mu_);
-    requests_served_ += static_cast<int64_t>(batch->size());
-    ++batches_dispatched_;
+    stats_.requests_served += static_cast<int64_t>(batch->size());
+    ++stats_.batches_dispatched;
+    stats_.served_full += delta.served_full;
+    stats_.served_degraded_cached += delta.served_degraded_cached;
+    stats_.served_degraded_fallback += delta.served_degraded_fallback;
   }
+  for (size_t i = 0; i < batch->size(); ++i) {
+    (*batch)[i].result.set_value(results[i]);
+  }
+}
+
+InferenceServer::Stats InferenceServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 int64_t InferenceServer::requests_served() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return requests_served_;
+  return stats_.requests_served;
 }
 
 int64_t InferenceServer::batches_dispatched() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return batches_dispatched_;
+  return stats_.batches_dispatched;
 }
 
 }  // namespace serve

@@ -99,7 +99,10 @@ Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Load(
     // forward pass from recording an autograd tape. The math is untouched.
     params[i].set_requires_grad(false);
   }
-  snapshot->model_->set_training(false);
+  // Recursive: pre-sets every submodule's flag so the forward pass never
+  // writes shared state again — the precondition for running this model on
+  // several executor threads concurrently (see OmniMatchModel docs).
+  snapshot->model_->SetTrainingMode(false);
 
   snapshot->version_ = SnapshotVersion(state.config_fingerprint,
                                        state.epochs_completed, state.steps,

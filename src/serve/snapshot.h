@@ -24,11 +24,14 @@ namespace serve {
 ///
 /// Immutability contract (see DESIGN.md "Serving"): after Load() returns,
 /// no member of a ModelSnapshot is ever written again, so const references
-/// may be shared freely across threads. The one caveat is the model's
-/// *forward pass*, which builds ephemeral activation state inside the
-/// shared module objects — scoring must therefore be serialized on a single
-/// thread (the InferenceServer's executor); intra-batch parallelism comes
-/// from the compute thread pool inside the kernels.
+/// may be shared freely across threads. That includes the model's forward
+/// pass: parameters are frozen with requires_grad dropped (no autograd
+/// tape), dropout is an eval no-op (no RNG draws), Load() pre-sets every
+/// submodule's train/eval flag via SetTrainingMode (so the lazy per-forward
+/// mode re-assertions are equality-guarded reads), and every activation is
+/// a fresh local tensor. Any number of executor threads may therefore score
+/// against one snapshot concurrently — each forward is independent, and the
+/// kernel thread pool serializes its dispatch internally.
 ///
 /// Versioning: version() is a stable digest of the config fingerprint and
 /// the checkpoint's epoch/step counters. The user-embedding cache keys on
@@ -106,9 +109,9 @@ class ModelSnapshot {
   /// fallback). Empty result when the user has no source records at all.
   std::vector<std::vector<int>> BuildColdUserDocs(int user_id) const;
 
-  /// The loaded model. Logically const — parameters are frozen — but the
-  /// forward pass is stateful (see class comment): call only from one
-  /// scoring thread at a time.
+  /// The loaded model. Logically const — parameters are frozen, and the
+  /// eval forward writes no shared state (see class comment), so it may be
+  /// driven from any number of scoring threads concurrently.
   core::OmniMatchModel* model() const { return model_.get(); }
 
  private:

@@ -1,0 +1,37 @@
+#include "serve/types.h"
+
+namespace omnimatch {
+namespace serve {
+
+const char* RequestStatusName(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kOk:
+      return "Ok";
+    case RequestStatus::kDegradedCached:
+      return "DegradedCached";
+    case RequestStatus::kDegradedFallback:
+      return "DegradedFallback";
+    case RequestStatus::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case RequestStatus::kOverloaded:
+      return "Overloaded";
+    case RequestStatus::kShuttingDown:
+      return "ShuttingDown";
+  }
+  return "Unknown";
+}
+
+const char* ScoreModeName(ScoreMode mode) {
+  switch (mode) {
+    case ScoreMode::kFull:
+      return "full";
+    case ScoreMode::kCachedOnly:
+      return "cached_only";
+    case ScoreMode::kGlobalMean:
+      return "global_mean";
+  }
+  return "unknown";
+}
+
+}  // namespace serve
+}  // namespace omnimatch

@@ -1,0 +1,77 @@
+#ifndef OMNIMATCH_SERVE_TYPES_H_
+#define OMNIMATCH_SERVE_TYPES_H_
+
+#include <cstdint>
+
+namespace omnimatch {
+namespace serve {
+
+/// Terminal state of one scoring request. The first three carry a score;
+/// the rest are rejections that never touched the model.
+///
+/// The fidelity contract (see DESIGN.md "Serving failure model"): a kOk
+/// response is bit-identical to single-threaded full-forward scoring. A
+/// kDegradedCached response was produced under pressure from the user's
+/// cached representation rows — still bit-identical for that user, but the
+/// server skipped admission work for the batch. A kDegradedFallback
+/// response is the target domain's global mean. Every other status is an
+/// explicit refusal, so a client can always tell exact answers from
+/// best-effort ones.
+enum class RequestStatus : uint8_t {
+  /// Full-fidelity score (tier 0 of the degradation ladder).
+  kOk = 0,
+  /// Served from the user-embedding cache without admitting new users
+  /// (tier 1). The score equals the full-forward score for this user.
+  kDegradedCached = 1,
+  /// Global-mean fallback; the model was not consulted (tier 2).
+  kDegradedFallback = 2,
+  /// The request's deadline passed before an executor dispatched it.
+  kDeadlineExceeded = 3,
+  /// Rejected at admission: the queue was at max_queue (or an armed
+  /// `queue_admit` fault forced the rejection).
+  kOverloaded = 4,
+  /// Rejected because Shutdown() had already begun.
+  kShuttingDown = 5,
+};
+
+/// Stable human-readable name ("Ok", "DegradedCached", ...).
+const char* RequestStatusName(RequestStatus status);
+
+/// True when the response carries a usable score (possibly degraded).
+inline bool HasScore(RequestStatus status) {
+  return status == RequestStatus::kOk ||
+         status == RequestStatus::kDegradedCached ||
+         status == RequestStatus::kDegradedFallback;
+}
+
+/// One scoring response. `snapshot_version` is the version() of the
+/// ModelSnapshot that produced (or would have produced) the score — under a
+/// hot swap, in-flight batches finish on the snapshot they started with, and
+/// this field tells the client exactly which one that was.
+struct ScoreResult {
+  float score = 0.0f;
+  RequestStatus status = RequestStatus::kOk;
+  uint64_t snapshot_version = 0;
+
+  bool ok() const { return status == RequestStatus::kOk; }
+  bool has_score() const { return HasScore(status); }
+};
+
+/// Executor-side scoring mode — the degradation ladder's tiers.
+enum class ScoreMode : uint8_t {
+  /// Tier 0: full forward, admitting unknown users (Algorithm 1 online).
+  kFull = 0,
+  /// Tier 1: serve cache hits through the rating head only; cache misses
+  /// fall back to the global mean. No admission work.
+  kCachedOnly = 1,
+  /// Tier 2: every request gets the global mean; the model is not run.
+  kGlobalMean = 2,
+};
+
+/// Stable human-readable name ("full", "cached_only", "global_mean").
+const char* ScoreModeName(ScoreMode mode);
+
+}  // namespace serve
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_SERVE_TYPES_H_

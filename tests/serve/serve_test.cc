@@ -266,12 +266,17 @@ TEST(InferenceServerTest, CoalescesBurstIntoFewBatches) {
   InferenceServer server(w.snapshot, options);
 
   std::vector<ScoreRequest> pairs = ReferencePairs();
-  std::vector<std::future<float>> futures;
+  std::vector<std::future<ScoreResult>> futures;
   for (const ScoreRequest& p : pairs) {
     futures.push_back(server.ScoreAsync(p.user, p.item));
   }
   std::vector<float> got;
-  for (auto& f : futures) got.push_back(f.get());
+  for (auto& f : futures) {
+    const ScoreResult r = f.get();
+    EXPECT_EQ(RequestStatus::kOk, r.status);
+    EXPECT_EQ(w.snapshot->version(), r.snapshot_version);
+    got.push_back(r.score);
+  }
   server.Shutdown();
 
   EXPECT_EQ(static_cast<int64_t>(pairs.size()), server.requests_served());
@@ -291,8 +296,8 @@ TEST(InferenceServerTest, ConcurrentSubmittersGetBitIdenticalScores) {
   ServeWorld& w = World();
   std::vector<ScoreRequest> pairs = ReferencePairs();
 
-  // Reference values, computed single-threaded BEFORE the server exists
-  // (the snapshot's model forward must not run on two threads at once).
+  // Reference values, computed single-threaded BEFORE the server exists —
+  // the baseline the concurrent results must reproduce bit-for-bit.
   std::vector<float> expected;
   {
     Scorer reference(w.snapshot, 256);
@@ -347,16 +352,17 @@ TEST(InferenceServerTest, ShutdownDrainsQueuedRequests) {
   options.max_batch = 4;
   options.linger_us = 1000000;  // 1s: requests would linger without drain
   auto server = std::make_unique<InferenceServer>(w.snapshot, options);
-  std::vector<std::future<float>> futures;
+  std::vector<std::future<ScoreResult>> futures;
   const std::vector<ScoreRequest> pairs = ReferencePairs();
   for (size_t i = 0; i < 6 && i < pairs.size(); ++i) {
     futures.push_back(server->ScoreAsync(pairs[i].user, pairs[i].item));
   }
   server->Shutdown();  // must score everything still queued
   for (auto& f : futures) {
-    const float score = f.get();
-    EXPECT_GE(score, 1.0f);
-    EXPECT_LE(score, 5.0f);
+    const ScoreResult r = f.get();
+    EXPECT_EQ(RequestStatus::kOk, r.status);
+    EXPECT_GE(r.score, 1.0f);
+    EXPECT_LE(r.score, 5.0f);
   }
 }
 
