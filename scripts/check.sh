@@ -6,6 +6,7 @@
 #
 #   scripts/check.sh            # everything
 #   scripts/check.sh release    # just the Release build + full ctest
+#   scripts/check.sh portable   # scalar-forced dispatch lane (reuses build/)
 #   scripts/check.sh tsan       # just the TSan config
 #   scripts/check.sh asan       # just the ASan config
 #   scripts/check.sh ubsan      # just the UBSan config
@@ -51,6 +52,15 @@ run_release() {
   # shows) keeps the gate meaningful on loaded CI runners.
   ./build/bench/bench_auxgen --check --check_speedup_min=1.0 --reps=2 \
     --out=build/BENCH_auxgen.json
+  echo "=== Quantized-inference smoke benchmark (int8 vs float32) ==="
+  # Self-checking: fails unless the --quant snapshot carries int8-planned
+  # nodes, quant scores are finite and bit-identical across runs and thread
+  # counts, the RMSE delta vs float32 stays under 0.01, the scoring-head
+  # speedup reaches the 2.0x acceptance floor (float and int8 are timed in
+  # the same run, so the ratio holds up on a loaded runner), and end-to-end
+  # serving does not regress.
+  ./build/bench/bench_quant --smoke --check \
+    --out=build/BENCH_quant.json
   echo "=== Million-user out-of-core smoke (RSS-capped) ==="
   # Streams a million-user world to OMDS files, maps them back, and drives
   # split + parallel auxiliary generation + checkpoint + serve scoring
@@ -61,6 +71,24 @@ run_release() {
     --max_rss_mb=1024 --workdir="${smoke_dir}" \
     --out=build/BENCH_auxgen_million.json
   rm -rf "${smoke_dir}"
+}
+
+# Portable lane: same (portable-flags) Release binaries, but with the
+# runtime dispatcher pinned to the scalar int8 kernel via OMNIMATCH_ISA.
+# This is what the build does on a CPU with no AVX2/AVX-512/NEON, so it
+# proves the portability story end to end: the kernel suites must pass
+# bit-identically, and bench_quant's accuracy/determinism gates must hold.
+# The speedup floors are zeroed — scalar int8 legitimately loses to float
+# (the win is SIMD), which is exactly why dispatch exists.
+run_portable() {
+  echo "=== Portable lane: scalar-forced dispatch ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+  cmake --build build -j "${JOBS}" --target nn_test serve_test bench_quant
+  OMNIMATCH_ISA=scalar ./build/tests/nn_test
+  OMNIMATCH_ISA=scalar ./build/tests/serve_test
+  OMNIMATCH_ISA=scalar ./build/bench/bench_quant --smoke --check \
+    --speedup_min=0 --serving_min=0 \
+    --out=build/BENCH_quant_scalar.json
 }
 
 # Sanitizer configs only build the test tree (benchmarks and examples add
@@ -95,17 +123,19 @@ run_sanitizer() {
 }
 
 case "${MODE}" in
-  release) run_release ;;
+  release)  run_release ;;
+  portable) run_portable ;;
   tsan)    run_sanitizer thread common_test nn_test obs_test serve_test serve_fault_test ;;
   asan)    run_sanitizer address common_test nn_test core_test obs_test serve_test serve_fault_test ;;
   ubsan)   run_sanitizer undefined common_test nn_test core_test obs_test serve_test serve_fault_test ;;
   all)
     run_release
+    run_portable
     run_sanitizer thread common_test nn_test obs_test serve_test serve_fault_test
     run_sanitizer address common_test nn_test core_test obs_test serve_test serve_fault_test
     run_sanitizer undefined common_test nn_test core_test obs_test serve_test serve_fault_test
     ;;
-  *) echo "usage: $0 [all|release|tsan|asan|ubsan]" >&2 ; exit 2 ;;
+  *) echo "usage: $0 [all|release|portable|tsan|asan|ubsan]" >&2 ; exit 2 ;;
 esac
 
 echo "OK (${MODE})"

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <array>
-#include <fstream>
 #include <cmath>
+#include <cstring>
+#include <fstream>
 #include <limits>
 
 #include "common/check.h"
+#include "common/crc32.h"
 #include "common/fault.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
@@ -860,44 +862,116 @@ eval::Metrics OmniMatchTrainer::Evaluate(const std::vector<int>& users) {
   return result.ok() ? result.value() : eval::Metrics{};
 }
 
+namespace {
+
+/// OMWT weight-file framing, the checkpoint (OMCK) discipline scaled down:
+/// magic + version + payload size + payload CRC-32 header, then the
+/// length-prefixed parameter payload, written atomically (tmp + fsync +
+/// rename). The old format was a bare ofstream dump: a crash mid-write left
+/// a torn file at the final path, bit flips loaded silently, and trailing
+/// garbage was never noticed.
+constexpr char kWeightsMagic[4] = {'O', 'M', 'W', 'T'};
+constexpr uint32_t kWeightsVersion = 1;
+constexpr size_t kWeightsHeaderSize = 4 + 4 + 8 + 4;
+
+}  // namespace
+
 Status OmniMatchTrainer::SaveWeights(const std::string& path) const {
   OM_CHECK(prepared_) << "call Prepare() first";
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
   std::vector<nn::Tensor> params = model_->Parameters();
-  uint64_t count = params.size();
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  ByteWriter body;
+  body.Write<uint64_t>(params.size());
   for (const nn::Tensor& p : params) {
-    uint64_t n = static_cast<uint64_t>(p.numel());
-    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
-    out.write(reinterpret_cast<const char*>(p.data().data()),
-              static_cast<std::streamsize>(n * sizeof(float)));
+    body.WriteVector(p.data());
   }
-  if (!out) return Status::IoError("write failed for " + path);
-  return Status::OK();
+  std::string payload = body.Release();
+  ByteWriter file;
+  file.Write<char>(kWeightsMagic[0]);
+  file.Write<char>(kWeightsMagic[1]);
+  file.Write<char>(kWeightsMagic[2]);
+  file.Write<char>(kWeightsMagic[3]);
+  file.Write<uint32_t>(kWeightsVersion);
+  file.Write<uint64_t>(payload.size());
+  file.Write<uint32_t>(Crc32(payload));
+  std::string out = file.Release();
+  out += payload;
+  return WriteFileAtomic(path, out);
 }
 
 Status OmniMatchTrainer::LoadWeights(const std::string& path) {
   OM_CHECK(prepared_) << "call Prepare() first";
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open " + path);
+  Result<std::string> file = ReadFileToString(path);
+  if (!file.ok()) return file.status();
+  const std::string& raw = file.value();
+
+  if (raw.size() < kWeightsHeaderSize) {
+    return Status::InvalidArgument(path + ": too small to be a weight file");
+  }
+  ByteReader header(std::string_view(raw).substr(0, kWeightsHeaderSize));
+  char magic[4];
+  uint32_t version = 0;
+  uint64_t payload_size = 0;
+  uint32_t crc = 0;
+  header.Read(&magic[0]);
+  header.Read(&magic[1]);
+  header.Read(&magic[2]);
+  header.Read(&magic[3]);
+  header.Read(&version);
+  header.Read(&payload_size);
+  header.Read(&crc);
+  if (std::memcmp(magic, kWeightsMagic, 4) != 0) {
+    return Status::InvalidArgument(path + ": not a weight file");
+  }
+  if (version != kWeightsVersion) {
+    return Status::InvalidArgument(
+        StrFormat("%s: weight file version %u, this build reads %u",
+                  path.c_str(), version, kWeightsVersion));
+  }
+  // An exact size match rejects both truncation AND trailing garbage — an
+  // appended byte is as much corruption as a missing one.
+  if (raw.size() - kWeightsHeaderSize != payload_size) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: payload is %zu bytes, header promises %llu "
+        "(truncated or trailing garbage)",
+        path.c_str(), raw.size() - kWeightsHeaderSize,
+        static_cast<unsigned long long>(payload_size)));
+  }
+  std::string_view payload = std::string_view(raw).substr(kWeightsHeaderSize);
+  if (Crc32(payload) != crc) {
+    return Status::InvalidArgument(path + ": payload checksum mismatch");
+  }
+
   std::vector<nn::Tensor> params = model_->Parameters();
+  ByteReader r(payload);
   uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in || count != params.size()) {
+  if (!r.Read(&count)) {
+    return Status::InvalidArgument(path + ": truncated weight payload");
+  }
+  if (count != params.size()) {
     return Status::InvalidArgument(
         StrFormat("%s holds %llu parameters, model has %zu", path.c_str(),
                   static_cast<unsigned long long>(count), params.size()));
   }
-  for (nn::Tensor& p : params) {
-    uint64_t n = 0;
-    in.read(reinterpret_cast<char*>(&n), sizeof(n));
-    if (!in || n != static_cast<uint64_t>(p.numel())) {
-      return Status::InvalidArgument(path + ": parameter shape mismatch");
+  // Parse EVERYTHING into staging before touching the model: a shape
+  // mismatch halfway through must not leave half-restored parameters.
+  std::vector<std::vector<float>> staged(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (!r.ReadVector(&staged[i])) {
+      return Status::InvalidArgument(path + ": truncated weight payload");
     }
-    in.read(reinterpret_cast<char*>(p.data().data()),
-            static_cast<std::streamsize>(n * sizeof(float)));
-    if (!in) return Status::IoError(path + ": truncated weight file");
+    if (staged[i].size() != params[i].data().size()) {
+      return Status::InvalidArgument(
+          StrFormat("%s: parameter %zu has %zu values, model expects %zu",
+                    path.c_str(), i, staged[i].size(),
+                    params[i].data().size()));
+    }
+  }
+  if (!r.exhausted()) {
+    return Status::InvalidArgument(path +
+                                   ": trailing bytes after weight payload");
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].data() = std::move(staged[i]);
   }
   return Status::OK();
 }

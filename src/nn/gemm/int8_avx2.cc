@@ -1,0 +1,5 @@
+// AVX2 int8 GEMM flavor. This translation unit — and only this one — is
+// compiled with -mavx2; it must never be entered on a CPU without AVX2
+// (SelectKernel guarantees that via cpuid).
+#define OMNIMATCH_INT8_NAMESPACE isa_avx2
+#include "nn/gemm/int8_gemm_impl.inc"

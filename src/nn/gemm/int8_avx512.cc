@@ -1,0 +1,5 @@
+// AVX-512 int8 GEMM flavor. This translation unit — and only this one — is
+// compiled with -mavx512f -mavx512bw; it must never be entered on a CPU
+// without those features (SelectKernel guarantees that via cpuid).
+#define OMNIMATCH_INT8_NAMESPACE isa_avx512
+#include "nn/gemm/int8_gemm_impl.inc"

@@ -1,0 +1,54 @@
+// Runtime kernel selection for the int8 GEMM flavors. Compiled with the
+// default portable flags; it only takes the *address* of the per-ISA entry
+// points, so no wide instruction can execute before cpuid approves it.
+
+#include "nn/gemm/int8_gemm.h"
+
+#include "common/cpu.h"
+
+namespace omnimatch {
+namespace nn {
+namespace int8gemm {
+
+IsaLevel BestCompiledIsa() {
+#if defined(OMNIMATCH_INT8_HAVE_AVX512)
+  return IsaLevel::kAvx512;
+#elif defined(OMNIMATCH_INT8_HAVE_AVX2)
+  return IsaLevel::kAvx2;
+#elif defined(OMNIMATCH_INT8_HAVE_NEON)
+  return IsaLevel::kNeon;
+#else
+  return IsaLevel::kScalar;
+#endif
+}
+
+Int8GemmNTFn SelectKernel(IsaLevel level) {
+  if (static_cast<int>(level) > static_cast<int>(BestCompiledIsa())) {
+    level = BestCompiledIsa();
+  }
+  switch (level) {
+#if defined(OMNIMATCH_INT8_HAVE_AVX512)
+    case IsaLevel::kAvx512:
+      return &isa_avx512::GemmS8NT;
+#endif
+#if defined(OMNIMATCH_INT8_HAVE_AVX2)
+    case IsaLevel::kAvx2:
+      return &isa_avx2::GemmS8NT;
+#endif
+#if defined(OMNIMATCH_INT8_HAVE_NEON)
+    case IsaLevel::kNeon:
+      return &isa_neon::GemmS8NT;
+#endif
+    default:
+      return &isa_scalar::GemmS8NT;
+  }
+}
+
+Int8GemmNTFn ActiveKernel() {
+  static const Int8GemmNTFn fn = SelectKernel(ActiveIsa());
+  return fn;
+}
+
+}  // namespace int8gemm
+}  // namespace nn
+}  // namespace omnimatch

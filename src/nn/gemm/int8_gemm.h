@@ -1,0 +1,87 @@
+#ifndef OMNIMATCH_NN_GEMM_INT8_GEMM_H_
+#define OMNIMATCH_NN_GEMM_INT8_GEMM_H_
+
+#include <cstdint>
+
+#include "common/cpu.h"
+
+namespace omnimatch {
+namespace nn {
+namespace int8gemm {
+
+/// Int8 GEMM kernels with runtime ISA dispatch — the integer compute
+/// substrate under the quantized inference path (nn/quant.h).
+///
+/// Exactly one operation is exposed:
+///
+///   C[M,N] = A[M,K] · B[N,K]^T     (s8 × s8 → s32, pure accumulation)
+///
+/// A is row-major [M, K] int8 (quantized activations); B is row-major
+/// [N, K] int8 — one row per OUTPUT CHANNEL with its K weights contiguous
+/// (the layout QuantizedLinear packs weights into at load time), so every
+/// (m, n) output is a contiguous dot product. C is row-major [M, N] int32,
+/// OVERWRITTEN (not accumulated into).
+///
+/// Determinism contract: every flavor computes the identical int32 result.
+/// Integer accumulation is exact and associative, so vector width and
+/// summation order cannot change a single bit — the per-ISA equivalence
+/// test (tests/nn/quant_test.cc) pins this. All float math (quantize /
+/// dequantize / bias / ReLU) lives in nn/quant.cc, a single ordinary
+/// translation unit, so the numeric results of the quantized path do not
+/// depend on which kernel flavor ran.
+///
+/// Overflow bound: |a·b| per element ≤ 127² = 16129, and the widest
+/// accumulation path sums two adjacent products into s32 before widening,
+/// so K ≤ 2^31 / (2 · 16129) ≈ 66K is safe. Kernels OM_CHECK K against
+/// kMaxK; model layers are orders of magnitude below it.
+inline constexpr int kMaxK = 1 << 16;
+
+using Int8GemmNTFn = void (*)(const int8_t* a, const int8_t* b, int32_t* c,
+                              int m_dim, int k_dim, int n_dim);
+
+/// The kernel for `level`, clamped to the widest flavor actually compiled
+/// into this binary (a portable build may lack, e.g., the AVX-512 TU).
+/// Never returns null — the scalar flavor always exists.
+Int8GemmNTFn SelectKernel(IsaLevel level);
+
+/// The kernel dispatch uses by default: SelectKernel(ActiveIsa()) — the
+/// hardware's widest supported flavor, unless OMNIMATCH_ISA forces a lower
+/// one. Resolved once at first use.
+Int8GemmNTFn ActiveKernel();
+
+/// The widest flavor compiled into this binary (build fact, not host
+/// fact). SelectKernel clamps to this.
+IsaLevel BestCompiledIsa();
+
+/// Per-ISA entry points (each defined in its own translation unit,
+/// compiled with exactly the arch flags that flavor needs — see
+/// src/nn/CMakeLists.txt). Only the flavors the build enabled exist;
+/// dispatch code must consult BestCompiledIsa() / SelectKernel.
+namespace isa_scalar {
+void GemmS8NT(const int8_t* a, const int8_t* b, int32_t* c, int m_dim,
+              int k_dim, int n_dim);
+}
+#if defined(OMNIMATCH_INT8_HAVE_AVX2)
+namespace isa_avx2 {
+void GemmS8NT(const int8_t* a, const int8_t* b, int32_t* c, int m_dim,
+              int k_dim, int n_dim);
+}
+#endif
+#if defined(OMNIMATCH_INT8_HAVE_AVX512)
+namespace isa_avx512 {
+void GemmS8NT(const int8_t* a, const int8_t* b, int32_t* c, int m_dim,
+              int k_dim, int n_dim);
+}
+#endif
+#if defined(OMNIMATCH_INT8_HAVE_NEON)
+namespace isa_neon {
+void GemmS8NT(const int8_t* a, const int8_t* b, int32_t* c, int m_dim,
+              int k_dim, int n_dim);
+}
+#endif
+
+}  // namespace int8gemm
+}  // namespace nn
+}  // namespace omnimatch
+
+#endif  // OMNIMATCH_NN_GEMM_INT8_GEMM_H_

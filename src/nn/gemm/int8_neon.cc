@@ -1,0 +1,5 @@
+// NEON int8 GEMM flavor, aarch64 builds only (ASIMD is architecturally
+// mandatory there, so no runtime feature probe beyond the target arch is
+// needed).
+#define OMNIMATCH_INT8_NAMESPACE isa_neon
+#include "nn/gemm/int8_gemm_impl.inc"

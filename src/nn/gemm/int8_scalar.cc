@@ -1,0 +1,8 @@
+// Scalar int8 GEMM flavor — the universal fallback, compiled with the
+// project's default (portable) flags. OMNIMATCH_INT8_FORCE_SCALAR keeps it
+// scalar even when the whole build carries -march=native (the
+// OMNIMATCH_NATIVE_ARCH escape hatch), so "forced scalar" dispatch always
+// means what it says.
+#define OMNIMATCH_INT8_NAMESPACE isa_scalar
+#define OMNIMATCH_INT8_FORCE_SCALAR 1
+#include "nn/gemm/int8_gemm_impl.inc"

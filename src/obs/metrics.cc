@@ -131,7 +131,9 @@ std::vector<double> Histogram::LatencyBoundsNs() {
   return bounds;
 }
 
-double HistogramQuantile(const Histogram& h, double q) {
+double HistogramQuantileChecked(const Histogram& h, double q,
+                                bool* tail_overflow) {
+  *tail_overflow = false;
   q = std::min(1.0, std::max(0.0, q));
   const std::vector<int64_t> counts = h.BucketCounts();
   const std::vector<double>& bounds = h.bounds();
@@ -146,7 +148,10 @@ double HistogramQuantile(const Histogram& h, double q) {
     const int64_t next = cumulative + counts[b];
     if (static_cast<double>(next) >= rank) {
       if (b >= bounds.size()) {
-        // +inf bucket: no finite upper bound to interpolate towards.
+        // +inf bucket: no finite upper bound to interpolate towards. The
+        // clamp keeps the return finite for display, but it is a LOWER
+        // bound — flag it so gates can refuse to trust it.
+        *tail_overflow = true;
         return bounds.empty() ? 0.0 : bounds.back();
       }
       const double lo = b == 0 ? 0.0 : bounds[b - 1];
@@ -159,6 +164,11 @@ double HistogramQuantile(const Histogram& h, double q) {
     cumulative = next;
   }
   return bounds.empty() ? 0.0 : bounds.back();
+}
+
+double HistogramQuantile(const Histogram& h, double q) {
+  bool tail_overflow = false;
+  return HistogramQuantileChecked(h, q, &tail_overflow);
 }
 
 MetricsRegistry& MetricsRegistry::Global() {

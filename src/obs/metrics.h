@@ -135,7 +135,21 @@ class Histogram {
 /// its lower bound (the largest finite upper bound). Returns 0 for an empty
 /// histogram. Accuracy is bounded by bucket width — pair with
 /// Histogram::LatencyBoundsNs() for ~10% relative error.
+///
+/// CAVEAT: when the quantile lands in the +inf tail bucket, the returned
+/// value is only a LOWER BOUND — the real quantile is somewhere above the
+/// last finite edge, unboundedly far. A gate that compares the clamped
+/// value against a budget can silently pass while the true tail is orders
+/// of magnitude over it. Gates must use HistogramQuantileChecked and treat
+/// tail_overflow as a failure in its own right.
 double HistogramQuantile(const Histogram& h, double q);
+
+/// HistogramQuantile plus tail-overflow detection: `*tail_overflow` is set
+/// to true when the q-th observation falls in the +inf bucket (the return
+/// value is then the clamped lower bound, not an estimate), false
+/// otherwise. `tail_overflow` must be non-null.
+double HistogramQuantileChecked(const Histogram& h, double q,
+                                bool* tail_overflow);
 
 /// Process-global name -> instrument registry. Get* registers on first use
 /// and returns a stable pointer (instruments are never destroyed); cache it

@@ -369,6 +369,10 @@ std::vector<ScoredValue> Scorer::ScoreBatchWith(
 
   const int user_width = static_cast<int>(head_user_rows[0]->size());
   const int item_width = static_cast<int>(head_item_rows[0]->size());
+  // The --quant serving mode swaps ONLY this rating-head GEMM stack for the
+  // int8 one; everything above (admission, extractors, cache, softmax
+  // readout below) is shared, and the float branch is untouched.
+  const QuantizedRatingHead* quant_head = snap->quant_head();
   for (size_t begin = 0; begin < head_user_rows.size();
        begin += kHeadChunkRows) {
     const size_t end =
@@ -383,19 +387,30 @@ std::vector<ScoredValue> Scorer::ScoreBatchWith(
       item_data.insert(item_data.end(), head_item_rows[r]->begin(),
                        head_item_rows[r]->end());
     }
-    Tensor logits = model->RatingLogits(
-        Tensor::FromData({rows, user_width}, std::move(user_data)),
-        Tensor::FromData({rows, item_width}, std::move(item_data)));
+    std::vector<float> quant_logits;
+    Tensor logits;
+    const float* logit_rows = nullptr;
+    if (quant_head != nullptr) {
+      quant_head->RatingLogits(user_data.data(), item_data.data(), rows,
+                               &quant_logits);
+      logit_rows = quant_logits.data();
+    } else {
+      logits = model->RatingLogits(
+          Tensor::FromData({rows, user_width}, std::move(user_data)),
+          Tensor::FromData({rows, item_width}, std::move(item_data)));
+      logit_rows = logits.data().data();
+    }
     // Softmax-expected rating per row, accumulated exactly like the
     // trainer: max-subtracted exp in double, final product in float.
     for (int r = 0; r < rows; ++r) {
-      float max_v = logits.At(r, 0);
+      const float* row = logit_rows + static_cast<size_t>(r) * classes;
+      float max_v = row[0];
       for (int c = 1; c < classes; ++c) {
-        max_v = std::max(max_v, logits.At(r, c));
+        max_v = std::max(max_v, row[c]);
       }
       double sum = 0.0, weighted = 0.0;
       for (int c = 0; c < classes; ++c) {
-        double e = std::exp(static_cast<double>(logits.At(r, c)) - max_v);
+        double e = std::exp(static_cast<double>(row[c]) - max_v);
         sum += e;
         weighted += e * (c + 1);
       }

@@ -1,5 +1,6 @@
 #include "serve/snapshot.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
@@ -26,6 +27,119 @@ uint64_t SnapshotVersion(uint64_t fingerprint, int32_t epochs, int64_t steps,
   v = SplitMix64(v ^ static_cast<uint64_t>(steps));
   v = SplitMix64(v ^ (used_best_params ? 0x5eedULL : 0));
   return v;
+}
+
+/// Copies row `row` of a [B, width] tensor into `dst` (appending).
+void AppendTensorRow(const nn::Tensor& t, int row, std::vector<float>* dst) {
+  const std::vector<float>& data = t.data();
+  const int width = t.dim(1);
+  const float* src = data.data() + static_cast<size_t>(row) * width;
+  dst->insert(dst->end(), src, src + width);
+}
+
+/// Representative (user representation, item representation) pairs for
+/// quantization calibration, computed with the float path over the frozen
+/// evaluation documents in sorted-id order (deterministic: the sample — and
+/// therefore every calibrated scale — is a pure function of the snapshot).
+/// When hybrid inference is on, each user also contributes its hybrid row
+/// (source-invariant ⊕ target-specific): the quantized head serves those
+/// rows too, so calibration must see their distribution.
+QuantizedRatingHead::CalibrationSample BuildCalibrationSample(
+    const ModelSnapshot& snap, int max_rows) {
+  QuantizedRatingHead::CalibrationSample sample;
+  if (max_rows <= 0) return sample;
+
+  std::vector<int> user_ids, item_ids;
+  user_ids.reserve(snap.user_target_docs().size());
+  for (const auto& kv : snap.user_target_docs()) user_ids.push_back(kv.first);
+  item_ids.reserve(snap.item_docs().size());
+  for (const auto& kv : snap.item_docs()) item_ids.push_back(kv.first);
+  if (user_ids.empty() || item_ids.empty()) return sample;
+  std::sort(user_ids.begin(), user_ids.end());
+  std::sort(item_ids.begin(), item_ids.end());
+
+  const core::OmniMatchConfig& config = snap.config();
+  core::OmniMatchModel* model = snap.model();
+  const int pairs = std::min<int>(
+      max_rows,
+      static_cast<int>(std::max(user_ids.size(), item_ids.size())));
+  constexpr int kChunkRows = 256;
+
+  // Target-side user representations (invariant ⊕ specific), and the pieces
+  // hybrid rows are assembled from.
+  std::vector<float> target_rows, specific_rows;
+  for (int begin = 0; begin < pairs; begin += kChunkRows) {
+    const int end = std::min(pairs, begin + kChunkRows);
+    std::vector<int> flat;
+    flat.reserve(static_cast<size_t>(end - begin) * config.doc_len);
+    for (int r = begin; r < end; ++r) {
+      const int user = user_ids[static_cast<size_t>(r) % user_ids.size()];
+      const std::vector<int>& doc = snap.user_target_docs().at(user);
+      flat.insert(flat.end(), doc.begin(), doc.end());
+    }
+    core::OmniMatchModel::UserFeatures feat =
+        model->ExtractUser(data::DomainSide::kTarget, flat, end - begin);
+    for (int r = begin; r < end; ++r) {
+      AppendTensorRow(feat.invariant, r - begin, &target_rows);
+      AppendTensorRow(feat.specific, r - begin, &target_rows);
+      if (config.use_hybrid_inference) {
+        AppendTensorRow(feat.specific, r - begin, &specific_rows);
+      }
+    }
+  }
+
+  // Item representations, paired positionally.
+  std::vector<float> item_rows;
+  for (int begin = 0; begin < pairs; begin += kChunkRows) {
+    const int end = std::min(pairs, begin + kChunkRows);
+    std::vector<int> flat;
+    flat.reserve(static_cast<size_t>(end - begin) * config.item_doc_len);
+    for (int r = begin; r < end; ++r) {
+      const int item = item_ids[static_cast<size_t>(r) % item_ids.size()];
+      const std::vector<int>& doc = snap.item_docs().at(item);
+      flat.insert(flat.end(), doc.begin(), doc.end());
+    }
+    nn::Tensor rep = model->ExtractItem(flat, end - begin);
+    for (int r = begin; r < end; ++r) {
+      AppendTensorRow(rep, r - begin, &item_rows);
+    }
+  }
+
+  sample.user_rows = std::move(target_rows);
+  sample.item_rows = item_rows;
+  sample.rows = pairs;
+
+  if (config.use_hybrid_inference) {
+    // Hybrid rows: source-invariant ⊕ target-specific for the same users
+    // (pad document when the user has no source reviews — the serving
+    // fallback), against the same item rows.
+    const int f = config.feature_dim;
+    for (int begin = 0; begin < pairs; begin += kChunkRows) {
+      const int end = std::min(pairs, begin + kChunkRows);
+      std::vector<int> flat;
+      flat.reserve(static_cast<size_t>(end - begin) * config.doc_len);
+      for (int r = begin; r < end; ++r) {
+        const int user = user_ids[static_cast<size_t>(r) % user_ids.size()];
+        auto it = snap.user_source_docs().find(user);
+        const std::vector<int>& doc = it != snap.user_source_docs().end()
+                                          ? it->second
+                                          : snap.pad_user_doc();
+        flat.insert(flat.end(), doc.begin(), doc.end());
+      }
+      core::OmniMatchModel::UserFeatures src =
+          model->ExtractUser(data::DomainSide::kSource, flat, end - begin);
+      for (int r = begin; r < end; ++r) {
+        AppendTensorRow(src.invariant, r - begin, &sample.user_rows);
+        const float* spec =
+            specific_rows.data() + static_cast<size_t>(r) * f;
+        sample.user_rows.insert(sample.user_rows.end(), spec, spec + f);
+      }
+    }
+    sample.item_rows.insert(sample.item_rows.end(), item_rows.begin(),
+                            item_rows.end());
+    sample.rows = 2 * pairs;
+  }
+  return sample;
 }
 
 }  // namespace
@@ -107,6 +221,17 @@ Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Load(
   snapshot->version_ = SnapshotVersion(state.config_fingerprint,
                                        state.epochs_completed, state.steps,
                                        use_best);
+
+  if (options.quantize) {
+    // Calibrate and quantize the rating head against the float model just
+    // installed. Runs the float eval path, so it must come after the
+    // parameters and eval mode are in place. Null (float serving) when the
+    // frozen world is empty — nothing to calibrate against.
+    QuantizedRatingHead::CalibrationSample sample = BuildCalibrationSample(
+        *snapshot, options.quant.calibration_rows);
+    snapshot->quant_head_ =
+        QuantizedRatingHead::Build(*snapshot->model_, options.quant, sample);
+  }
   return std::shared_ptr<const ModelSnapshot>(std::move(snapshot));
 }
 

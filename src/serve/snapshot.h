@@ -12,6 +12,8 @@
 #include "core/model.h"
 #include "data/dataset.h"
 #include "data/splits.h"
+#include "nn/quant.h"
+#include "serve/quant_head.h"
 #include "text/vocabulary.h"
 
 namespace omnimatch {
@@ -44,6 +46,15 @@ class ModelSnapshot {
     /// (select_best_epoch runs); fall back to the live parameters
     /// otherwise.
     bool prefer_best_params = true;
+    /// Build the int8 quantized rating head at load (--quant serving mode):
+    /// a float calibration pass over sampled frozen representations fixes
+    /// the activation scales, then the per-request two-GEMM rating head
+    /// runs on the runtime-dispatched int8 kernels. Admission, extractors
+    /// and the cache stay float32. OFF by default — the default serving
+    /// path is bit-identical to the trainer's PredictBatch.
+    bool quantize = false;
+    /// Calibration / planning knobs for the quantized head.
+    nn::quant::QuantOptions quant;
   };
 
   /// Loads a snapshot for serving the given scenario. `cross` must outlive
@@ -114,6 +125,11 @@ class ModelSnapshot {
   /// driven from any number of scoring threads concurrently.
   core::OmniMatchModel* model() const { return model_.get(); }
 
+  /// The int8 rating head, or null when Options::quantize was off (or the
+  /// frozen world offered no calibration rows). Immutable after Load, like
+  /// everything else here — safe to drive from every executor thread.
+  const QuantizedRatingHead* quant_head() const { return quant_head_.get(); }
+
  private:
   ModelSnapshot() = default;
 
@@ -125,6 +141,7 @@ class ModelSnapshot {
   text::Vocabulary vocab_;
   std::unique_ptr<core::AuxReviewGenerator> aux_generator_;
   std::unique_ptr<core::OmniMatchModel> model_;
+  std::unique_ptr<QuantizedRatingHead> quant_head_;
 
   std::unordered_map<int, std::vector<int>> user_source_docs_;
   std::unordered_map<int, std::vector<int>> user_target_docs_;

@@ -1,7 +1,10 @@
 #include <cstdio>
+#include <fstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
+#include "common/io.h"
 #include "core/trainer.h"
 #include "data/splits.h"
 #include "data/synthetic.h"
@@ -108,6 +111,89 @@ TEST(SerializationTest, LoadTruncatedFileFails) {
   fclose(f);
   Status status = trainer.LoadWeights(path);
   EXPECT_FALSE(status.ok());
+  std::remove(path.c_str());
+}
+
+// Regression: the old bare-ofstream format loaded silently after a bit
+// flip anywhere in the payload. The OMWT CRC must reject it — and a failed
+// load must leave the model's weights untouched.
+TEST(SerializationTest, LoadCorruptedPayloadFailsAndPreservesWeights) {
+  data::SyntheticWorld world(TinyWorld());
+  data::CrossDomainDataset cross = world.MakePair("Books", "Movies");
+  Rng rng(5);
+  data::ColdStartSplit split = data::MakeColdStartSplit(cross, &rng);
+  OmniMatchTrainer trainer(TinyModel(), &cross, split);
+  ASSERT_TRUE(trainer.Prepare().ok());
+  std::string path = testing::TempDir() + "/omnimatch_corrupt.bin";
+  ASSERT_TRUE(trainer.SaveWeights(path).ok());
+
+  Result<std::string> raw = ReadFileToString(path);
+  ASSERT_TRUE(raw.ok());
+  std::string bytes = raw.value();
+  bytes[bytes.size() / 2] ^= 0x40;  // one bit flip deep in the payload
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << bytes;
+
+  eval::Metrics before = trainer.Evaluate(split.test_users);
+  Status status = trainer.LoadWeights(path);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // The rejected load must not have half-written anything.
+  eval::Metrics after = trainer.Evaluate(split.test_users);
+  EXPECT_DOUBLE_EQ(before.rmse, after.rmse);
+  std::remove(path.c_str());
+}
+
+// Regression: trailing bytes after the payload (a concatenated or
+// double-written file) used to pass unnoticed — the old reader simply never
+// looked past the last parameter.
+TEST(SerializationTest, LoadRejectsTrailingGarbage) {
+  data::SyntheticWorld world(TinyWorld());
+  data::CrossDomainDataset cross = world.MakePair("Books", "Movies");
+  Rng rng(5);
+  data::ColdStartSplit split = data::MakeColdStartSplit(cross, &rng);
+  OmniMatchTrainer trainer(TinyModel(), &cross, split);
+  ASSERT_TRUE(trainer.Prepare().ok());
+  std::string path = testing::TempDir() + "/omnimatch_trailing.bin";
+  ASSERT_TRUE(trainer.SaveWeights(path).ok());
+
+  std::ofstream(path, std::ios::binary | std::ios::app) << "garbage";
+  Status status = trainer.LoadWeights(path);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, LoadRejectsForeignMagic) {
+  data::SyntheticWorld world(TinyWorld());
+  data::CrossDomainDataset cross = world.MakePair("Books", "Movies");
+  Rng rng(5);
+  data::ColdStartSplit split = data::MakeColdStartSplit(cross, &rng);
+  OmniMatchTrainer trainer(TinyModel(), &cross, split);
+  ASSERT_TRUE(trainer.Prepare().ok());
+  std::string path = testing::TempDir() + "/omnimatch_notweights.bin";
+  std::ofstream(path, std::ios::binary)
+      << "this is not a weight file, but it is long enough to have a header";
+  Status status = trainer.LoadWeights(path);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+// SaveWeights must stage through a tmp file: after a successful save the
+// destination directory holds exactly the final file, no leftover staging
+// artifacts, and an existing file is replaced atomically (never truncated
+// in place).
+TEST(SerializationTest, SaveOverwritesAtomically) {
+  data::SyntheticWorld world(TinyWorld());
+  data::CrossDomainDataset cross = world.MakePair("Books", "Movies");
+  Rng rng(5);
+  data::ColdStartSplit split = data::MakeColdStartSplit(cross, &rng);
+  OmniMatchTrainer trainer(TinyModel(), &cross, split);
+  ASSERT_TRUE(trainer.Prepare().ok());
+  std::string path = testing::TempDir() + "/omnimatch_overwrite.bin";
+  ASSERT_TRUE(trainer.SaveWeights(path).ok());
+  ASSERT_TRUE(trainer.SaveWeights(path).ok());  // overwrite in place
+  ASSERT_TRUE(trainer.LoadWeights(path).ok());
   std::remove(path.c_str());
 }
 

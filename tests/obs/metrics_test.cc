@@ -216,6 +216,42 @@ TEST_F(MetricsTest, HistogramQuantileAcrossBuckets) {
   EXPECT_DOUBLE_EQ(HistogramQuantile(h, 1.0), 4.0);
 }
 
+// Regression: the clamped +inf-tail return used to be indistinguishable
+// from a genuine estimate at the last finite edge, so latency gates
+// compared a lower bound against their budget and passed runs whose true
+// tail was unbounded. The checked variant must flag exactly the quantiles
+// that land in the tail.
+TEST_F(MetricsTest, HistogramQuantileCheckedFlagsTailOverflow) {
+  Histogram h({1.0, 2.0, 4.0});
+  bool overflow = true;
+  EXPECT_DOUBLE_EQ(HistogramQuantileChecked(h, 0.99, &overflow), 0.0);
+  EXPECT_FALSE(overflow) << "empty histogram is not a tail overflow";
+
+  for (int i = 0; i < 99; ++i) h.Observe(0.5);
+  h.Observe(100.0);  // one observation beyond the last finite bound
+  // p50 is nowhere near the tail: clean interpolated estimate, no flag.
+  const double p50 = HistogramQuantileChecked(h, 0.5, &overflow);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, 1.0);
+  EXPECT_FALSE(overflow);
+  // p999 lands on the tail observation: the value clamps to the last
+  // finite bound and the flag must fire.
+  const double clamped = HistogramQuantileChecked(h, 0.999, &overflow);
+  EXPECT_DOUBLE_EQ(clamped, 4.0);
+  EXPECT_TRUE(overflow);
+  // The unchecked wrapper returns the same clamped value (display use).
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.999), clamped);
+}
+
+TEST_F(MetricsTest, HistogramQuantileCheckedAllMassInTail) {
+  Histogram h({1.0});
+  h.Observe(50.0);
+  bool overflow = false;
+  EXPECT_DOUBLE_EQ(HistogramQuantileChecked(h, 0.5, &overflow), 1.0);
+  EXPECT_TRUE(overflow) << "every quantile of an all-tail histogram is a "
+                           "lower bound";
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace omnimatch
